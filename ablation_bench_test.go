@@ -1,0 +1,220 @@
+package selfstabsnap_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/types"
+)
+
+// Ablation benchmarks: each isolates one design choice called out in
+// DESIGN.md and measures its effect, so the cost/benefit of every
+// mechanism is quantified rather than asserted.
+
+// BenchmarkAblationGossip toggles the self-stabilizing additions (gossip +
+// index hygiene) and measures their steady-state traffic cost — the price
+// of recoverability. The DG baseline emits zero background traffic; the
+// self-stabilizing variant pays n(n-1) small messages per cycle.
+func BenchmarkAblationGossip(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"off-DG", core.NonBlockingDG},
+		{"on-SS", core.NonBlockingSS},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 8, Algorithm: tc.alg, Seed: 1,
+				LoopInterval: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Write(0, types.Value("seed")); err != nil {
+				b.Fatal(err)
+			}
+			before := c.Metrics()
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Write(0, types.Value("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(diff.Bytes)/elapsed/1024, "background-KiB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGossipInterval varies the do-forever loop period and
+// measures recovery time from a full-state transient fault: faster gossip
+// buys faster stabilization, linearly.
+func BenchmarkAblationGossipInterval(b *testing.B) {
+	for _, interval := range []time.Duration{time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond} {
+		b.Run(interval.String(), func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 5, Algorithm: core.NonBlockingSS, Seed: 2,
+				LoopInterval: interval,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			for i := 0; i < 5; i++ {
+				if err := c.Write(i, types.Value("seed")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var totalMS float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.CorruptAll(); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if _, err := c.CyclesToInvariant(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				totalMS += float64(time.Since(start).Microseconds()) / 1000
+			}
+			b.StopTimer()
+			b.ReportMetric(totalMS/float64(b.N), "recovery-ms")
+		})
+	}
+}
+
+// BenchmarkAblationRetxInterval varies the quorum retransmission period
+// and measures write latency under heavy loss: the retransmission timer is
+// what converts fair-lossy channels into the paper's assumed quorum
+// service, and its period directly bounds tail latency.
+func BenchmarkAblationRetxInterval(b *testing.B) {
+	for _, retx := range []time.Duration{2 * time.Millisecond, 8 * time.Millisecond, 32 * time.Millisecond} {
+		b.Run(retx.String(), func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 5, Algorithm: core.NonBlockingSS, Seed: 3,
+				LoopInterval: time.Millisecond,
+				RetxInterval: retx,
+				Adversary:    netsim.Adversary{DropProb: 0.30},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Write(0, types.Value("lossy")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInboxCap varies the bounded channel capacity (§2's
+// bounded-capacity channels): small inboxes drop overload instead of
+// queueing it, trading loss for boundedness. Operations still complete via
+// retransmission.
+func BenchmarkAblationInboxCap(b *testing.B) {
+	for _, cap := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 5, Algorithm: core.NonBlockingSS, Seed: 4,
+				LoopInterval: time.Millisecond,
+				InboxCap:     cap,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Write(0, types.Value("bounded")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValueSize sweeps ν: per-operation cost is Θ(n·ν), so
+// bytes/op should scale linearly with the payload while msgs/op stays
+// flat.
+func BenchmarkAblationValueSize(b *testing.B) {
+	for _, nu := range []int{16, 1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("nu=%dB", nu), func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 5, Algorithm: core.NonBlockingSS, Seed: 5,
+				LoopInterval: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			payload := make(types.Value, nu)
+			before := c.Metrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Write(0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			b.ReportMetric(float64(diff.Messages)/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(diff.Bytes)/float64(b.N)/1024, "KiB/op")
+		})
+	}
+}
+
+// BenchmarkAblationSafeRegVsRBroadcast contrasts the result-dissemination
+// mechanisms: Algorithm 2's reliable broadcast of END versus Algorithm 3's
+// safe-register SAVE — the paper's §1 motivation for the replacement
+// ("safe registers … rather than a reliable broadcast mechanism, which
+// often has higher communication costs").
+func BenchmarkAblationSafeRegVsRBroadcast(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"rbroadcast-Alg2", core.AlwaysTerminatingDG},
+		{"safereg-Alg3", core.DeltaSS},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				N: 6, Algorithm: tc.alg, Delta: 1 << 30, Seed: 6,
+				LoopInterval: time.Millisecond,
+				RetxInterval: 3 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.Write(0, types.Value("seed")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Snapshot(1); err != nil {
+				b.Fatal(err)
+			}
+			before := c.Metrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Snapshot(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			b.ReportMetric(float64(diff.Messages)/float64(b.N), "msgs/op")
+		})
+	}
+}

@@ -1,0 +1,194 @@
+// Package selfstabsnap_test holds the top-level benchmark harness: one
+// benchmark family per reproduced table/figure (E1–E10, see DESIGN.md and
+// EXPERIMENTS.md) plus per-operation microbenchmarks for every algorithm.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks print their regenerated tables once (via
+// b.Log, visible with -v); cmd/benchrunner prints the same tables with
+// wider sweeps.
+package selfstabsnap_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/bench"
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/wire"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(bench.Params{Quick: true})
+		if i == 0 {
+			for _, t := range tables {
+				b.Logf("\n%s", t)
+			}
+		}
+	}
+}
+
+// One benchmark per reproduced figure/table.
+
+func BenchmarkE1_Figure1_Executions(b *testing.B)         { runExperiment(b, "E1") }
+func BenchmarkE2_Alg1_MessageComplexity(b *testing.B)     { runExperiment(b, "E2") }
+func BenchmarkE3_StackedVsDirect_8nVs2n(b *testing.B)     { runExperiment(b, "E3") }
+func BenchmarkE4_Figure2_Alg2_Quadratic(b *testing.B)     { runExperiment(b, "E4") }
+func BenchmarkE5_Figure3_Alg3_Savings(b *testing.B)       { runExperiment(b, "E5") }
+func BenchmarkE6_DeltaTradeoff(b *testing.B)              { runExperiment(b, "E6") }
+func BenchmarkE7_RecoveryCycles(b *testing.B)             { runExperiment(b, "E7") }
+func BenchmarkE8_LivenessUnderStorm(b *testing.B)         { runExperiment(b, "E8") }
+func BenchmarkE9_BoundedCountersReset(b *testing.B)       { runExperiment(b, "E9") }
+func BenchmarkE10_CrashesAndLinearizability(b *testing.B) { runExperiment(b, "E10") }
+
+// ---- per-operation microbenchmarks ----
+
+func benchCluster(b *testing.B, alg core.Algorithm, n int, delta int64) *core.Cluster {
+	b.Helper()
+	c, err := core.NewCluster(core.Config{
+		N:            n,
+		Algorithm:    alg,
+		Delta:        delta,
+		Seed:         42,
+		LoopInterval: time.Millisecond,
+		RetxInterval: 3 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+func benchAlgorithms() []struct {
+	name  string
+	alg   core.Algorithm
+	delta int64
+} {
+	return []struct {
+		name  string
+		alg   core.Algorithm
+		delta int64
+	}{
+		{"DG-nonblocking", core.NonBlockingDG, 0},
+		{"SS-nonblocking", core.NonBlockingSS, 0},
+		{"DG-alwaysterm", core.AlwaysTerminatingDG, 0},
+		{"SS-delta0", core.DeltaSS, 0},
+		{"SS-delta8", core.DeltaSS, 8},
+		{"stacked-ABD", core.StackedABD, 0},
+		{"SS-bounded", core.BoundedSS, 0},
+	}
+}
+
+// BenchmarkWrite measures write latency and messages/op per algorithm on a
+// 5-node cluster.
+func BenchmarkWrite(b *testing.B) {
+	for _, a := range benchAlgorithms() {
+		b.Run(a.name, func(b *testing.B) {
+			c := benchCluster(b, a.alg, 5, a.delta)
+			payload := []byte("benchmark-payload")
+			before := c.Metrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Write(0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			b.ReportMetric(float64(diff.Messages)/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(diff.Bytes)/float64(b.N), "netB/op")
+		})
+	}
+}
+
+// BenchmarkSnapshot measures quiescent snapshot latency and messages/op.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, a := range benchAlgorithms() {
+		b.Run(a.name, func(b *testing.B) {
+			c := benchCluster(b, a.alg, 5, a.delta)
+			if err := c.Write(0, []byte("seed")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Snapshot(1); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			before := c.Metrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Snapshot(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			b.ReportMetric(float64(diff.MessagesOf(
+				wire.TSnapshot, wire.TSnapshotAck, wire.TSave, wire.TSaveAck,
+				wire.TCollect, wire.TCollectAck, wire.TWriteBack, wire.TWriteBackAck,
+				wire.TRBCast, wire.TRBAck, wire.TSnap, wire.TEnd))/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkSnapshotScaling sweeps n for the self-stabilizing non-blocking
+// algorithm: latency and msgs/op should both scale Θ(n).
+func BenchmarkSnapshotScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := benchCluster(b, core.NonBlockingSS, n, 0)
+			if err := c.Write(0, []byte("seed")); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Snapshot(1); err != nil {
+				b.Fatal(err)
+			}
+			before := c.Metrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Snapshot(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			diff := c.Metrics().Sub(before)
+			b.ReportMetric(float64(diff.MessagesOf(wire.TSnapshot, wire.TSnapshotAck))/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkConcurrentWriters measures aggregate write throughput with all
+// nodes writing at once (SWMR: no conflicts, majority quorums shared).
+func BenchmarkConcurrentWriters(b *testing.B) {
+	for _, a := range benchAlgorithms() {
+		b.Run(a.name, func(b *testing.B) {
+			const n = 5
+			c := benchCluster(b, a.alg, n, a.delta)
+			payload := []byte("concurrent")
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if err := c.Write(w, payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package selfstabsnap_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/workload"
+)
+
+// Capacity benchmarks: supplementary characterization beyond the paper's
+// claims — closed-loop throughput per algorithm and the write/snapshot mix
+// sensitivity of the two always-terminating designs.
+
+// BenchmarkClosedLoopThroughput reports sustained ops/s per algorithm with
+// every node writing and snapshotting (1:5 mix).
+func BenchmarkClosedLoopThroughput(b *testing.B) {
+	for _, a := range benchAlgorithms() {
+		b.Run(a.name, func(b *testing.B) {
+			c := benchCluster(b, a.alg, 5, a.delta)
+			b.ResetTimer()
+			var totalOps int64
+			var totalTime time.Duration
+			for i := 0; i < b.N; i++ {
+				r := workload.RunClosedLoop(c, workload.ClosedLoopConfig{
+					Duration: 100 * time.Millisecond,
+					Mix:      workload.Mix{SnapshotEvery: 5},
+					Seed:     int64(i),
+				})
+				totalOps += r.Writes + r.Snapshots
+				totalTime += r.Elapsed
+			}
+			b.StopTimer()
+			if s := totalTime.Seconds(); s > 0 {
+				b.ReportMetric(float64(totalOps)/s, "ops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkMixSensitivity sweeps the snapshot fraction on Algorithm 3
+// (δ=0 vs δ=8): snapshot-heavy mixes hit the δ=0 variant's O(n²) cost per
+// snapshot much harder.
+func BenchmarkMixSensitivity(b *testing.B) {
+	for _, delta := range []int64{0, 8} {
+		for _, every := range []int{2, 10} {
+			b.Run(fmt.Sprintf("delta=%d/snapEvery=%d", delta, every), func(b *testing.B) {
+				c := benchCluster(b, core.DeltaSS, 5, delta)
+				b.ResetTimer()
+				var ops int64
+				var elapsed time.Duration
+				for i := 0; i < b.N; i++ {
+					r := workload.RunClosedLoop(c, workload.ClosedLoopConfig{
+						Duration: 100 * time.Millisecond,
+						Mix:      workload.Mix{SnapshotEvery: every},
+						Seed:     int64(i),
+					})
+					ops += r.Writes + r.Snapshots
+					elapsed += r.Elapsed
+				}
+				b.StopTimer()
+				if s := elapsed.Seconds(); s > 0 {
+					b.ReportMetric(float64(ops)/s, "ops/s")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command benchrunner regenerates the paper-reproduction experiment tables
+// (E1–E10 in DESIGN.md/EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchrunner -exp all          # every experiment, full parameter sweeps
+//	benchrunner -exp E3,E6 -quick # selected experiments, reduced sweeps
+//	benchrunner -list             # list the catalogue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"selfstabsnap/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+		quick = flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := bench.Params{Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(params)
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,120 @@
+// Command tcpnode runs ONE snapshot-object node over real TCP; start n of
+// them (one per terminal, container or machine) to form a live cluster.
+//
+// Example — a 3-node cluster on localhost:
+//
+//	tcpnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	tcpnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//	tcpnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//	        -write hello -interval 1s -snapshot-every 3s
+//
+// Each node optionally writes a fresh value every -interval and prints a
+// snapshot every -snapshot-every. Stop with Ctrl-C.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"selfstabsnap/internal/deltasnap"
+	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/nonblocking"
+	"selfstabsnap/internal/tcpnet"
+	"selfstabsnap/internal/types"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this node's id (index into -peers)")
+		peers    = flag.String("peers", "", "comma-separated host:port list, one per node")
+		algName  = flag.String("alg", "ss-nonblocking", "ss-nonblocking or ss-delta")
+		delta    = flag.Int64("delta", 4, "δ for ss-delta")
+		write    = flag.String("write", "", "value prefix to write periodically (empty = don't write)")
+		interval = flag.Duration("interval", time.Second, "write period")
+		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 3 {
+		fmt.Fprintln(os.Stderr, "need at least 3 peers (2f < n)")
+		os.Exit(2)
+	}
+	tr, err := tcpnet.New(*id, addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	opts := node.Options{LoopInterval: 50 * time.Millisecond, RetxInterval: 200 * time.Millisecond}
+
+	type snapObj interface {
+		Write(types.Value) error
+		Snapshot() (types.RegVector, error)
+		Close()
+	}
+	var obj snapObj
+	switch strings.ToLower(*algName) {
+	case "ss-nonblocking":
+		nd := nonblocking.New(*id, tr, nonblocking.Config{SelfStabilizing: true, Runtime: opts})
+		nd.Start()
+		obj = nd
+	case "ss-delta":
+		nd := deltasnap.New(*id, tr, deltasnap.Config{Delta: *delta, Runtime: opts})
+		nd.Start()
+		obj = nd
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	defer obj.Close()
+
+	fmt.Printf("node %d listening on %s (%s, %d peers)\n", *id, tr.Addr(), *algName, len(addrs))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var writeTick, snapTick <-chan time.Time
+	if *write != "" {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		writeTick = t.C
+	}
+	if *snapEach > 0 {
+		t := time.NewTicker(*snapEach)
+		defer t.Stop()
+		snapTick = t.C
+	}
+
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return
+		case <-writeTick:
+			seq++
+			v := types.Value(fmt.Sprintf("%s-%d", *write, seq))
+			start := time.Now()
+			if err := obj.Write(v); err != nil {
+				fmt.Printf("write %s: %v\n", v, err)
+				continue
+			}
+			fmt.Printf("wrote %q in %v\n", v, time.Since(start).Round(time.Millisecond))
+		case <-snapTick:
+			start := time.Now()
+			snap, err := obj.Snapshot()
+			if err != nil {
+				fmt.Printf("snapshot: %v\n", err)
+				continue
+			}
+			fmt.Printf("snapshot (%v): %s\n", time.Since(start).Round(time.Millisecond), snap)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module selfstabsnap
+
+go 1.22

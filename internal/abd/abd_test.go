@@ -1,0 +1,207 @@
+package abd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/types"
+)
+
+func fastOpts() node.Options {
+	return node.Options{LoopInterval: time.Millisecond, RetxInterval: 2 * time.Millisecond}
+}
+
+func newCluster(t *testing.T, n int, selfStab bool, adv netsim.Adversary, seed int64) []*Node {
+	t.Helper()
+	net := netsim.New(netsim.Config{N: n, Seed: seed, Adversary: adv})
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = New(i, net, Config{SelfStabilizing: selfStab, Runtime: fastOpts()})
+		nodes[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		net.Close()
+	})
+	return nodes
+}
+
+func TestWriteRead(t *testing.T) {
+	nodes := newCluster(t, 5, false, netsim.Adversary{}, 1)
+	if err := nodes[0].Write(types.Value("abd-value")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodes[3].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Val) != "abd-value" || got.TS != 1 {
+		t.Fatalf("read = %v", got)
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	nodes := newCluster(t, 3, false, netsim.Adversary{}, 2)
+	got, err := nodes[1].Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsBottom() {
+		t.Fatalf("unwritten register read %v", got)
+	}
+	if _, err := nodes[1].Read(9); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestWriteOverwrites(t *testing.T) {
+	nodes := newCluster(t, 3, false, netsim.Adversary{}, 3)
+	for i := 1; i <= 5; i++ {
+		if err := nodes[2].Write(types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := nodes[0].Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Val) != "v5" || got.TS != 5 {
+		t.Fatalf("read = %v, want (v5,5)", got)
+	}
+}
+
+// TestNoNewOldInversion is the atomicity property the write-back phase
+// buys: once any reader returns timestamp t, no later-started read may
+// return anything older.
+func TestNoNewOldInversion(t *testing.T) {
+	nodes := newCluster(t, 5, false, netsim.Adversary{DropProb: 0.1, MaxDelay: 2 * time.Millisecond}, 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := nodes[0].Write(types.Value(fmt.Sprintf("w%d", i))); err != nil {
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var history []struct {
+		start, end time.Time
+		ts         int64
+	}
+	for r := 1; r <= 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				start := time.Now()
+				got, err := nodes[r].Read(0)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				history = append(history, struct {
+					start, end time.Time
+					ts         int64
+				}{start, time.Now(), got.TS})
+				mu.Unlock()
+			}
+		}(r)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	for i := range history {
+		for j := range history {
+			if history[i].end.Before(history[j].start) && history[i].ts > history[j].ts {
+				t.Fatalf("new/old inversion: read ending %v saw ts=%d, later read saw ts=%d",
+					history[i].end, history[i].ts, history[j].ts)
+			}
+		}
+	}
+}
+
+func TestMinorityCrashTolerated(t *testing.T) {
+	nodes := newCluster(t, 5, false, netsim.Adversary{}, 5)
+	nodes[3].Runtime().Crash()
+	nodes[4].Runtime().Crash()
+	if err := nodes[0].Write(types.Value("quorum")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodes[1].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Val) != "quorum" {
+		t.Fatalf("read = %v", got)
+	}
+}
+
+// TestSelfStabilizingRecovery: with the Algorithm 1 hardening, an erased
+// writer register and collapsed ts heal via gossip; without it they stay
+// broken (the writer would reuse old timestamps).
+func TestSelfStabilizingRecovery(t *testing.T) {
+	nodes := newCluster(t, 3, true, netsim.Adversary{}, 6)
+	if err := nodes[0].Write(types.Value("precious")); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Corrupt(rand.New(rand.NewSource(1)))
+	nodes[0].mu.Lock()
+	nodes[0].ts = 0
+	nodes[0].reg[0] = types.TSValue{}
+	nodes[0].mu.Unlock()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ts, reg := nodes[0].State()
+		if ts >= 1 && string(reg[0].Val) == "precious" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writer state not healed: ts=%d reg=%v", ts, reg[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next write supersedes rather than colliding.
+	if err := nodes[0].Write(types.Value("newer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nodes[2].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Val) != "newer" || got.TS < 2 {
+		t.Fatalf("post-heal write collided: %v", got)
+	}
+}
+
+func TestBaselineStaysBroken(t *testing.T) {
+	nodes := newCluster(t, 3, false, netsim.Adversary{}, 7)
+	if err := nodes[0].Write(types.Value("gone")); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].mu.Lock()
+	nodes[0].reg[0] = types.TSValue{}
+	nodes[0].mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	_, reg := nodes[0].State()
+	if reg[0].TS != 0 {
+		t.Fatalf("baseline healed without gossip?! %v", reg[0])
+	}
+}

@@ -1,0 +1,373 @@
+// Package bounded implements §5 of the paper: the bounded-counter
+// variation of the self-stabilizing snapshot object. It wraps the
+// Algorithm 1 node (package nonblocking) with:
+//
+//   - overflow detection — a watcher notices any operation index reaching
+//     MAXINT (configurable, so tests can exercise wraparound cheaply);
+//   - operation disabling — new write/snapshot invocations are deferred
+//     (or aborted, per configuration) while a reset runs, and the node
+//     drains its in-flight operation before declaring itself frozen;
+//   - index gossip and global reset — the consensus-based procedure in
+//     package reset converges all registers, then collapses every index to
+//     its initial value while preserving register values;
+//   - epoch fencing — every data message carries the configuration epoch,
+//     and stale-epoch messages are discarded, so pre-reset indices can
+//     never re-poison post-reset state.
+package bounded
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/deltasnap"
+	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/nonblocking"
+	"selfstabsnap/internal/reset"
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+// Inner is the contract a wrapped algorithm must provide: the snapshot
+// object operations plus the reset hooks of §5. Both the paper's
+// Algorithm 1 (package nonblocking) and Algorithm 3 (package deltasnap)
+// satisfy it.
+type Inner interface {
+	Start()
+	Close()
+	Runtime() *node.Runtime
+	Write(types.Value) error
+	Snapshot() (types.RegVector, error)
+	// MaxIndex reports the largest operation index anywhere in the state.
+	MaxIndex() int64
+	// RegClone and MergeReg expose the registers to the MAXIDX gossip.
+	RegClone() types.RegVector
+	MergeReg(types.RegVector)
+	// ApplyReset collapses every index to its initial value while keeping
+	// register values (all nodes hold identical registers when it runs).
+	ApplyReset()
+}
+
+// DefaultMaxInt is the production overflow threshold. Tests override it.
+const DefaultMaxInt = int64(1) << 62
+
+// Config parameterises one bounded node.
+type Config struct {
+	// MaxInt is the overflow threshold (default DefaultMaxInt).
+	MaxInt int64
+	// AbortDuringReset makes operations invoked during a reset fail with
+	// node.ErrAborted instead of blocking until the reset completes. The
+	// paper's criteria explicitly permit aborting a bounded number of
+	// operations during the seldom global reset.
+	AbortDuringReset bool
+	// Runtime tuning forwarded to the inner Algorithm 1 node.
+	Runtime node.Options
+}
+
+// Node is a bounded-counter self-stabilizing snapshot node.
+type Node struct {
+	inner      Inner
+	innerNB    *nonblocking.Node // non-nil iff wrapping Algorithm 1
+	innerDelta *deltasnap.Node   // non-nil iff wrapping Algorithm 3
+	eng        *reset.Engine
+	ft         *fencedTransport
+	cfg        Config
+	id, n      int
+
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	closed   bool // admission gate
+	inflight int
+
+	resets   atomic.Int64
+	deferred atomic.Int64
+	aborted  atomic.Int64
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a bounded node wrapping Algorithm 1 (the paper's primary §5
+// target) with identifier id over transport tr.
+func New(id int, tr netsim.Transport, cfg Config) *Node {
+	b := newShell(id, tr, cfg)
+	b.innerNB = nonblocking.New(id, b.ft, nonblocking.Config{
+		SelfStabilizing: true,
+		Runtime:         cfg.Runtime,
+	})
+	b.inner = b.innerNB
+	return b
+}
+
+// NewDelta creates a bounded node wrapping Algorithm 3 — the other half of
+// §5's "bounded variations on Algorithms 1 and 3". delta is the wrapped
+// algorithm's δ parameter.
+func NewDelta(id int, tr netsim.Transport, delta int64, cfg Config) *Node {
+	b := newShell(id, tr, cfg)
+	b.innerDelta = deltasnap.New(id, b.ft, deltasnap.Config{
+		Delta:   delta,
+		Runtime: cfg.Runtime,
+	})
+	b.inner = b.innerDelta
+	return b
+}
+
+func newShell(id int, tr netsim.Transport, cfg Config) *Node {
+	if cfg.MaxInt <= 0 {
+		cfg.MaxInt = DefaultMaxInt
+	}
+	b := &Node{cfg: cfg, id: id, n: tr.N(), stopCh: make(chan struct{})}
+	b.gateCond = sync.NewCond(&b.gateMu)
+	b.eng = reset.NewEngine(id, tr.N())
+	b.ft = &fencedTransport{Transport: tr, owner: b}
+	return b
+}
+
+// Start launches the node's goroutines, including the overflow watcher.
+func (b *Node) Start() {
+	b.inner.Start()
+	b.wg.Add(1)
+	go b.watch()
+}
+
+// Close permanently stops the node.
+func (b *Node) Close() {
+	select {
+	case <-b.stopCh:
+	default:
+		close(b.stopCh)
+	}
+	b.gateMu.Lock()
+	b.gateCond.Broadcast()
+	b.gateMu.Unlock()
+	b.inner.Close()
+	b.wg.Wait()
+}
+
+// Runtime exposes lifecycle controls of the inner node.
+func (b *Node) Runtime() *node.Runtime { return b.inner.Runtime() }
+
+// Inner exposes the wrapped Algorithm 1 node, or nil when this node wraps
+// Algorithm 3 (state inspection in tests and the core facade).
+func (b *Node) Inner() *nonblocking.Node { return b.innerNB }
+
+// InnerDelta exposes the wrapped Algorithm 3 node, or nil when this node
+// wraps Algorithm 1.
+func (b *Node) InnerDelta() *deltasnap.Node { return b.innerDelta }
+
+// Epoch returns the current configuration epoch (number of completed
+// global resets since boot).
+func (b *Node) Epoch() int64 { return b.eng.Epoch() }
+
+// Resets returns how many global resets this node has applied.
+func (b *Node) Resets() int64 { return b.resets.Load() }
+
+// DeferredOps returns how many operations were delayed by a reset.
+func (b *Node) DeferredOps() int64 { return b.deferred.Load() }
+
+// AbortedOps returns how many operations were aborted by a reset.
+func (b *Node) AbortedOps() int64 { return b.aborted.Load() }
+
+// ResetActive reports whether a global reset is currently in progress.
+func (b *Node) ResetActive() bool { return b.eng.Active() }
+
+// Write performs a write, subject to the reset admission gate.
+func (b *Node) Write(v types.Value) error {
+	if err := b.enter(); err != nil {
+		return err
+	}
+	defer b.exit()
+	return b.inner.Write(v)
+}
+
+// Snapshot performs a snapshot, subject to the reset admission gate.
+func (b *Node) Snapshot() (types.RegVector, error) {
+	if err := b.enter(); err != nil {
+		return nil, err
+	}
+	defer b.exit()
+	return b.inner.Snapshot()
+}
+
+func (b *Node) enter() error {
+	b.gateMu.Lock()
+	defer b.gateMu.Unlock()
+	if b.closed {
+		if b.cfg.AbortDuringReset {
+			b.aborted.Add(1)
+			return node.ErrAborted
+		}
+		b.deferred.Add(1)
+		for b.closed {
+			select {
+			case <-b.stopCh:
+				return node.ErrClosed
+			default:
+			}
+			b.gateCond.Wait()
+		}
+	}
+	b.inflight++
+	return nil
+}
+
+func (b *Node) exit() {
+	b.gateMu.Lock()
+	b.inflight--
+	b.gateCond.Broadcast()
+	b.gateMu.Unlock()
+}
+
+// frozen reports whether the node has gated admissions and drained its
+// in-flight operations — the precondition for acknowledging a reset
+// proposal.
+func (b *Node) frozen() bool {
+	b.gateMu.Lock()
+	defer b.gateMu.Unlock()
+	return b.closed && b.inflight == 0
+}
+
+// syncGate aligns the admission gate with the reset engine: closed while a
+// pre-commit reset phase runs, open otherwise.
+func (b *Node) syncGate() {
+	if b.eng.Blocking() {
+		b.gateMu.Lock()
+		b.closed = true
+		b.gateMu.Unlock()
+	} else {
+		b.openGate()
+	}
+}
+
+func (b *Node) openGate() {
+	b.gateMu.Lock()
+	b.closed = false
+	b.gateCond.Broadcast()
+	b.gateMu.Unlock()
+}
+
+// watch is the overflow watcher and reset-protocol driver.
+func (b *Node) watch() {
+	defer b.wg.Done()
+	interval := b.cfg.Runtime.LoopInterval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-t.C:
+		}
+		if b.inner.Runtime().Crashed() {
+			continue
+		}
+		if !b.eng.Active() && b.inner.MaxIndex() >= b.cfg.MaxInt {
+			b.eng.Trigger()
+		}
+		b.syncGate()
+		b.exec(b.eng.OnTick(b.inner.RegClone(), b.frozen()))
+	}
+}
+
+// handleReset processes one reset-plane message (called from the fenced
+// transport on the dispatcher goroutine). A crashed node takes no steps,
+// so its reset messages are dropped like any others.
+func (b *Node) handleReset(m *wire.Message) {
+	if b.inner.Runtime().Crashed() {
+		return
+	}
+	res := b.eng.OnMessage(m, b.inner.RegClone(), b.frozen())
+	// Joining a reset gates admissions eagerly so freezing is prompt.
+	b.syncGate()
+	b.exec(res)
+}
+
+// exec applies a reset-engine result: merge registers, transmit outputs,
+// and apply a commit.
+func (b *Node) exec(res reset.Result) {
+	if res.MergeReg != nil {
+		b.inner.MergeReg(res.MergeReg)
+	}
+	for _, o := range res.Outputs {
+		if o.To == reset.Broadcast {
+			for k := 0; k < b.n; k++ {
+				if k != b.id {
+					b.ft.sendRaw(b.id, k, o.Msg)
+				}
+			}
+		} else {
+			b.ft.sendRaw(b.id, o.To, o.Msg)
+		}
+	}
+	if res.Commit {
+		b.inner.ApplyReset()
+		b.resets.Add(1)
+		b.openGate()
+	}
+}
+
+// fencedTransport wraps the real transport with epoch stamping/fencing and
+// reset-plane interception.
+type fencedTransport struct {
+	netsim.Transport
+	owner *Node
+}
+
+// sendRaw bypasses the fence (reset-plane messages carry their own epochs).
+func (f *fencedTransport) sendRaw(from, to int, m *wire.Message) {
+	f.Transport.Send(from, to, m)
+}
+
+// Send stamps data messages with the current epoch and suppresses new
+// requests while this node is frozen in a reset (acknowledgments still
+// flow so other nodes can drain their in-flight operations).
+func (f *fencedTransport) Send(from, to int, m *wire.Message) {
+	b := f.owner
+	if reset.IsResetType(m.Type) {
+		f.Transport.Send(from, to, m)
+		return
+	}
+	if b.eng.Active() && b.frozen() && isRequest(m.Type) {
+		return
+	}
+	m.Epoch = b.eng.Epoch()
+	f.Transport.Send(from, to, m)
+}
+
+// Recv filters stale-epoch data messages and diverts reset-plane messages
+// to the engine.
+func (f *fencedTransport) Recv(id int) (*wire.Message, bool) {
+	for {
+		m, ok := f.Transport.Recv(id)
+		if !ok {
+			return nil, false
+		}
+		if reset.IsResetType(m.Type) {
+			f.owner.handleReset(m)
+			continue
+		}
+		if m.Epoch != f.owner.eng.Epoch() {
+			continue // fenced: pre-reset (or post-reset) stray
+		}
+		return m, true
+	}
+}
+
+// isRequest reports whether t is a client-initiated request: those are
+// suppressed while the node is frozen mid-reset so the cluster quiesces,
+// while acknowledgments keep flowing so other nodes can drain.
+func isRequest(t wire.Type) bool {
+	switch t {
+	case wire.TWrite, wire.TSnapshot, wire.TGossip, wire.TSave:
+		return true
+	}
+	return false
+}
+
+// Counters exposes the underlying transport's meters.
+func (f *fencedTransport) Counters() *metrics.Counters { return f.Transport.Counters() }

@@ -1,0 +1,300 @@
+// Package chaos drives randomized fault schedules against a live cluster
+// while a concurrent workload runs, then verifies the recorded operation
+// history against the snapshot-object linearizability checker. It is the
+// repository's Jepsen-style validation layer: crashes, undetectable
+// restarts, temporary minority partitions and (optionally) a one-shot
+// transient fault, all from a single seed, all reproducible.
+//
+// Soundness notes:
+//
+//   - at most ⌊(n−1)/2⌋ nodes are crashed or partitioned away at any
+//     moment, so a connected live majority always exists and every
+//     operation eventually completes (the paper's 2f < n requirement);
+//   - operations issued by a node that is currently crashed or cut off
+//     simply block until the schedule heals it — that is the model's
+//     intended behaviour, not an error;
+//   - a transient fault may corrupt recorded-history semantics (a
+//     corrupted register can legitimately surface values no one wrote
+//     during recovery — the paper only promises a legal *suffix*), so when
+//     corruption is enabled the run quiesces, corrupts, waits for the
+//     recovery invariants, and only then starts the checked history.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/history"
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/types"
+)
+
+// Config parameterises a chaos run.
+type Config struct {
+	// Cluster shape.
+	N         int
+	Algorithm core.Algorithm
+	Delta     int64
+	Seed      int64
+	Adversary netsim.Adversary
+
+	// Duration of the checked workload phase.
+	Duration time.Duration
+
+	// Fault schedule. Rates are mean events per second (Poisson-ish via
+	// the seeded schedule loop); zero disables the fault class.
+	CrashRate     float64 // crash + later resume, ≤ f nodes down at once
+	PartitionRate float64 // cut a minority node off, heal shortly after
+	Corrupt       bool    // one transient fault before the checked phase
+
+	// Workload: each node alternates writes and snapshots with a random
+	// think time in [0, MaxThink].
+	MaxThink time.Duration
+}
+
+// Result summarises a chaos run.
+type Result struct {
+	Writes      int64
+	Snapshots   int64
+	Crashes     int64
+	Resumes     int64
+	Partitions  int64
+	RecoveryCyc int64 // cycles to invariant after the transient fault (if any)
+	Violation   *history.Violation
+}
+
+// String renders the result on one line.
+func (r Result) String() string {
+	lin := "linearizable"
+	if r.Violation != nil {
+		lin = r.Violation.Error()
+	}
+	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d recovery=%d cycles → %s",
+		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.RecoveryCyc, lin)
+}
+
+// Run executes one chaos schedule. It returns an error only for setup
+// failures; protocol misbehaviour surfaces as Result.Violation.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if cfg.N < 3 {
+		return res, fmt.Errorf("chaos: need N ≥ 3")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	if cfg.MaxThink <= 0 {
+		cfg.MaxThink = 2 * time.Millisecond
+	}
+	cluster, err := core.NewCluster(core.Config{
+		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
+		Adversary:    cfg.Adversary,
+		LoopInterval: time.Millisecond,
+		RetxInterval: 3 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Optional transient fault, applied before the checked phase begins.
+	if cfg.Corrupt {
+		// Seed some state first so corruption has something to destroy.
+		for i := 0; i < cfg.N; i++ {
+			if err := cluster.Write(i, types.Value(fmt.Sprintf("seed%d", i))); err != nil {
+				return res, err
+			}
+		}
+		if err := cluster.CorruptAll(); err != nil {
+			return res, err
+		}
+		cyc, err := cluster.CyclesToInvariant(20 * time.Second)
+		if err != nil {
+			return res, fmt.Errorf("chaos: recovery never completed: %w", err)
+		}
+		res.RecoveryCyc = cyc
+		// One write per node establishes a sane post-recovery baseline:
+		// every register now holds a value the checked history knows about.
+		// (Recovered registers may retain arbitrary corrupted contents —
+		// the paper's safety guarantees are about the legal suffix.)
+		for i := 0; i < cfg.N; i++ {
+			if err := cluster.Write(i, types.Value(fmt.Sprintf("base%d", i))); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	rec := history.NewRecorder()
+	// Content checking requires every invoked write to consume exactly one
+	// algorithm timestamp, in invocation order. That holds for algorithms
+	// that install the write synchronously at invocation (the non-blocking
+	// family and the stacked baseline) even when the call later fails, and
+	// for any algorithm when no crashes interrupt preemptible writes. It
+	// does NOT hold after a transient fault (ts is arbitrary) nor when
+	// crashes can interrupt Algorithm 2/3's deferred writes — those runs
+	// fall back to the index-free checks (comparability + real time).
+	syncInstall := cfg.Algorithm == core.NonBlockingDG ||
+		cfg.Algorithm == core.NonBlockingSS || cfg.Algorithm == core.StackedABD
+	fullCheck := !cfg.Corrupt && (syncInstall || cfg.CrashRate == 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Fault schedule driver. Heal timers are tracked and waited for so no
+	// callback can outlive this function.
+	var crashed sync.Map // id → struct{}
+	var crashedCount atomic.Int64
+	var crashes, resumes, partitions atomic.Int64
+	var healWG sync.WaitGroup
+	f := int64((cfg.N - 1) / 2)
+	scheduleTick := 5 * time.Millisecond
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(scheduleTick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			p := scheduleTick.Seconds()
+			if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate*p {
+				id := rng.Intn(cfg.N)
+				if _, down := crashed.Load(id); !down && crashedCount.Load() < f {
+					crashed.Store(id, struct{}{})
+					crashedCount.Add(1)
+					cluster.Crash(id)
+					crashes.Add(1)
+					// Resume after a random down time.
+					down := time.Duration(1+rng.Intn(20)) * time.Millisecond
+					healWG.Add(1)
+					time.AfterFunc(down, func() {
+						defer healWG.Done()
+						cluster.Resume(id)
+						crashed.Delete(id)
+						crashedCount.Add(-1)
+						resumes.Add(1)
+					})
+				}
+			}
+			if cfg.PartitionRate > 0 && rng.Float64() < cfg.PartitionRate*p {
+				id := rng.Intn(cfg.N)
+				if _, down := crashed.Load(id); !down && crashedCount.Load() < f {
+					crashed.Store(id, struct{}{})
+					crashedCount.Add(1)
+					cluster.Network().Isolate(id, true)
+					partitions.Add(1)
+					heal := time.Duration(1+rng.Intn(15)) * time.Millisecond
+					healWG.Add(1)
+					time.AfterFunc(heal, func() {
+						defer healWG.Done()
+						cluster.Network().Isolate(id, false)
+						crashed.Delete(id)
+						crashedCount.Add(-1)
+					})
+				}
+			}
+		}
+	}()
+
+	// Workload: one worker per node.
+	var writes, snaps atomic.Int64
+	for i := 0; i < cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := types.Value(fmt.Sprintf("c%d-%d", i, j))
+				end := rec.BeginWrite(i, v)
+				if err := cluster.Write(i, v); err == nil {
+					end()
+					writes.Add(1)
+				}
+				if r.Intn(3) == 0 {
+					endS := rec.BeginSnapshot(i)
+					if snap, err := cluster.Snapshot(i); err == nil {
+						endS(snap)
+						snaps.Add(1)
+					}
+				}
+				if think := cfg.MaxThink; think > 0 {
+					time.Sleep(time.Duration(r.Int63n(int64(think))))
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	healWG.Wait() // every scheduled heal has fired; nothing outlives Run
+	for i := 0; i < cfg.N; i++ {
+		cluster.Network().Isolate(i, false)
+		cluster.Resume(i)
+	}
+
+	res.Writes = writes.Load()
+	res.Snapshots = snaps.Load()
+	res.Crashes = crashes.Load()
+	res.Resumes = resumes.Load()
+	res.Partitions = partitions.Load()
+
+	if fullCheck {
+		res.Violation = rec.Check()
+	} else {
+		res.Violation = checkComparabilityOnly(rec)
+	}
+	return res, nil
+}
+
+// checkComparabilityOnly verifies rules 2–3 of the checker (pairwise
+// comparability and real-time monotonicity of snapshots), which remain
+// sound even when write indices do not start from a clean baseline.
+func checkComparabilityOnly(rec *history.Recorder) *history.Violation {
+	var snaps []*history.Op
+	for _, op := range rec.Ops() {
+		if op.Kind == history.KindSnapshot && op.Returned {
+			snaps = append(snaps, op)
+		}
+	}
+	for i := 0; i < len(snaps); i++ {
+		for j := i + 1; j < len(snaps); j++ {
+			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
+			if !vi.LessEq(vj) && !vj.LessEq(vi) {
+				return &history.Violation{
+					Rule:   "comparability",
+					Detail: fmt.Sprintf("%v vs %v", vi, vj),
+				}
+			}
+		}
+	}
+	for i := range snaps {
+		for j := range snaps {
+			if i == j || !snaps[i].Return.Before(snaps[j].Invoke) {
+				continue
+			}
+			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
+			if !vi.LessEq(vj) {
+				return &history.Violation{
+					Rule:   "snapshot-realtime",
+					Detail: fmt.Sprintf("%v returned before %v was invoked", vi, vj),
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/netsim"
+)
+
+func hostileNet() netsim.Adversary {
+	return netsim.Adversary{DropProb: 0.05, DupProb: 0.05, MaxDelay: 2 * time.Millisecond}
+}
+
+// TestCrashChurnLinearizable: random crash/resume churn against the
+// synchronous-install algorithms, full linearizability checking.
+func TestCrashChurnLinearizable(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.NonBlockingSS, core.StackedABD} {
+		for _, seed := range []int64{1, 2, 3} {
+			alg, seed := alg, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", alg, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(Config{
+					N: 5, Algorithm: alg, Seed: seed,
+					Adversary: hostileNet(),
+					Duration:  250 * time.Millisecond,
+					CrashRate: 20, // ~5 crash events over the run
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(res)
+				if res.Violation != nil {
+					t.Fatal(res.Violation)
+				}
+				if res.Writes == 0 || res.Snapshots == 0 {
+					t.Errorf("workload made no progress: %v", res)
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionChurnLinearizable: minority partitions with the
+// always-terminating algorithms; no crashes, so full checking applies.
+func TestPartitionChurnLinearizable(t *testing.T) {
+	for _, tc := range []struct {
+		alg   core.Algorithm
+		delta int64
+	}{
+		{core.DeltaSS, 0},
+		{core.DeltaSS, 4},
+		{core.AlwaysTerminatingDG, 0},
+		{core.NonBlockingSS, 0},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s-d%d", tc.alg, tc.delta), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				N: 5, Algorithm: tc.alg, Delta: tc.delta, Seed: 7,
+				Adversary:     hostileNet(),
+				Duration:      250 * time.Millisecond,
+				PartitionRate: 15,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Violation != nil {
+				t.Fatal(res.Violation)
+			}
+			if res.Writes == 0 {
+				t.Errorf("no writes completed: %v", res)
+			}
+		})
+	}
+}
+
+// TestCorruptionThenChaos: a transient fault, measured recovery, then a
+// crash-churn workload whose snapshots must stay mutually consistent.
+func TestCorruptionThenChaos(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.NonBlockingSS, core.DeltaSS} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				N: 4, Algorithm: alg, Delta: 2, Seed: 11,
+				Duration:  200 * time.Millisecond,
+				Corrupt:   true,
+				CrashRate: 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Violation != nil {
+				t.Fatal(res.Violation)
+			}
+			if res.RecoveryCyc > 64 {
+				t.Errorf("recovery took %d cycles — not O(1)", res.RecoveryCyc)
+			}
+		})
+	}
+}
+
+// TestCombinedFaults piles everything on at once: crashes, partitions, a
+// hostile network — the paper's full fault model minus transient faults
+// (those are covered above with the appropriate checker).
+func TestCombinedFaults(t *testing.T) {
+	res, err := Run(Config{
+		N: 7, Algorithm: core.DeltaSS, Delta: 2, Seed: 13,
+		Adversary:     hostileNet(),
+		Duration:      300 * time.Millisecond,
+		CrashRate:     10,
+		PartitionRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	if res.Crashes+res.Partitions == 0 {
+		t.Skip("schedule produced no faults at this seed/timing")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{N: 2}); err == nil {
+		t.Fatal("N=2 accepted")
+	}
+}

@@ -1,0 +1,498 @@
+// Package core is the public entry point of the library: it assembles a
+// cluster of snapshot-object nodes running any of the algorithms in this
+// repository over an in-memory adversarial network (or any other
+// netsim.Transport), and exposes the operations, fault-injection controls
+// and metrics that the examples, command-line tools and experiments use.
+//
+// Quickstart:
+//
+//	cluster, err := core.NewCluster(core.Config{N: 5, Algorithm: core.NonBlockingSS})
+//	defer cluster.Close()
+//	cluster.Write(0, types.Value("hello"))
+//	snap, err := cluster.Snapshot(1)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"selfstabsnap/internal/alwaysterm"
+	"selfstabsnap/internal/bounded"
+	"selfstabsnap/internal/deltasnap"
+	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/nonblocking"
+	"selfstabsnap/internal/stacked"
+	"selfstabsnap/internal/types"
+)
+
+// Algorithm selects which snapshot-object protocol a cluster runs.
+type Algorithm int
+
+// The implemented protocols.
+const (
+	// NonBlockingDG is Delporte-Gallet et al.'s Algorithm 1: non-blocking,
+	// crash-tolerant, NOT self-stabilizing (baseline).
+	NonBlockingDG Algorithm = iota
+	// NonBlockingSS is the paper's Algorithm 1: the self-stabilizing
+	// non-blocking snapshot (gossip + index hygiene).
+	NonBlockingSS
+	// AlwaysTerminatingDG is Delporte-Gallet et al.'s Algorithm 2:
+	// always-terminating via reliable broadcast, NOT self-stabilizing
+	// (baseline).
+	AlwaysTerminatingDG
+	// DeltaSS is the paper's Algorithm 3: self-stabilizing,
+	// always-terminating, with the δ latency/communication trade-off.
+	DeltaSS
+	// StackedABD is the stacked baseline from the paper's introduction:
+	// Afek et al.'s double-collect snapshot over ABD registers
+	// (~8n messages / 4 round trips per snapshot).
+	StackedABD
+	// BoundedSS is §5's bounded-counter variation of Algorithm 1: on index
+	// overflow (Config.MaxInt) the cluster runs a consensus-based global
+	// reset that collapses indices while preserving register values.
+	BoundedSS
+	// BoundedDeltaSS is §5's bounded-counter variation of Algorithm 3
+	// (the section covers "Algorithms 1 and 3"): the same overflow
+	// machinery wrapped around the δ-parameterised always-terminating
+	// snapshot.
+	BoundedDeltaSS
+)
+
+// String names the algorithm for tables and logs.
+func (a Algorithm) String() string {
+	switch a {
+	case NonBlockingDG:
+		return "DG-nonblocking"
+	case NonBlockingSS:
+		return "SS-nonblocking"
+	case AlwaysTerminatingDG:
+		return "DG-alwaysterm"
+	case DeltaSS:
+		return "SS-delta"
+	case StackedABD:
+		return "stacked-ABD"
+	case BoundedSS:
+		return "SS-bounded"
+	case BoundedDeltaSS:
+		return "SS-bounded-delta"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SelfStabilizing reports whether the algorithm recovers from transient
+// faults.
+func (a Algorithm) SelfStabilizing() bool {
+	switch a {
+	case NonBlockingSS, DeltaSS, BoundedSS, BoundedDeltaSS:
+		return true
+	}
+	return false
+}
+
+// Config describes a cluster.
+type Config struct {
+	// N is the number of nodes; must be ≥ 3 for crash tolerance (2f < n).
+	N int
+	// Algorithm selects the protocol (default NonBlockingSS).
+	Algorithm Algorithm
+	// Delta is Algorithm 3's δ parameter (ignored by other algorithms).
+	Delta int64
+	// Seed drives all adversarial and corruption randomness (default 1).
+	Seed int64
+	// Adversary configures packet loss/duplication/delay.
+	Adversary netsim.Adversary
+	// LoopInterval and RetxInterval tune the node runtimes.
+	LoopInterval time.Duration
+	RetxInterval time.Duration
+	// InboxCap bounds each node's channel capacity (default 4096).
+	InboxCap int
+	// MaxInt is BoundedSS's overflow threshold (default bounded.DefaultMaxInt).
+	MaxInt int64
+	// AbortDuringReset makes BoundedSS abort (rather than defer)
+	// operations invoked during a global reset.
+	AbortDuringReset bool
+	// Trace, if non-nil, observes every send and delivery.
+	Trace netsim.TraceHook
+}
+
+// Object is the snapshot-object interface every algorithm implements: the
+// paper's write() and snapshot() operations.
+type Object interface {
+	// Write replaces the calling node's register with v.
+	Write(v types.Value) error
+	// Snapshot returns an atomic view of all n registers.
+	Snapshot() (types.RegVector, error)
+}
+
+// Corruptible is implemented by the self-stabilizing algorithms: a
+// transient fault overwrites all algorithm state with arbitrary values.
+type Corruptible interface {
+	Corrupt(rng *rand.Rand)
+}
+
+type member struct {
+	obj       Object
+	rt        *node.Runtime
+	corrupt   func(*rand.Rand)
+	invariant func() bool
+	// state returns (ts, sns, reg, pndSNS) for cross-node invariant checks;
+	// nil for algorithms without a self-stabilization contract.
+	state   func() (int64, int64, types.RegVector, []int64)
+	restart func() // detectable restart; nil if unsupported
+	closer  func()
+}
+
+// Cluster is a running group of nodes implementing one snapshot object.
+type Cluster struct {
+	cfg     Config
+	net     *netsim.Network
+	members []member
+	rng     *rand.Rand
+
+	writeLat metrics.LatencyRecorder
+	snapLat  metrics.LatencyRecorder
+}
+
+// Errors returned by cluster construction and control.
+var (
+	ErrBadConfig      = errors.New("core: invalid configuration")
+	ErrNotCorruptible = errors.New("core: algorithm is not self-stabilizing; no corruption hook")
+	ErrTimeout        = errors.New("core: timed out")
+	ErrUnknownNode    = errors.New("core: node id out of range")
+	ErrUnknownAlg     = errors.New("core: unknown algorithm")
+)
+
+// NewCluster builds and starts a cluster per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.N < 3 {
+		return nil, fmt.Errorf("%w: need N ≥ 3, got %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	net := netsim.New(netsim.Config{
+		N:         cfg.N,
+		Seed:      cfg.Seed,
+		InboxCap:  cfg.InboxCap,
+		Adversary: cfg.Adversary,
+		Trace:     cfg.Trace,
+	})
+	c := &Cluster{cfg: cfg, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	ropts := node.Options{LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval}
+
+	for i := 0; i < cfg.N; i++ {
+		var m member
+		switch cfg.Algorithm {
+		case NonBlockingDG, NonBlockingSS:
+			nd := nonblocking.New(i, net, nonblocking.Config{
+				SelfStabilizing: cfg.Algorithm == NonBlockingSS,
+				Runtime:         ropts,
+			})
+			m = member{obj: nd, rt: nd.Runtime(), invariant: nd.LocalInvariantHolds, closer: nd.Close}
+			if cfg.Algorithm == NonBlockingSS {
+				m.corrupt = nd.Corrupt
+				m.restart = nd.RestartDetectable
+				m.state = func() (int64, int64, types.RegVector, []int64) {
+					st := nd.StateSummary()
+					return st.TS, 0, st.Reg, nil
+				}
+			}
+			nd.Start()
+		case AlwaysTerminatingDG:
+			nd := alwaysterm.New(i, net, alwaysterm.Config{Runtime: ropts})
+			m = member{obj: nd, rt: nd.Runtime(), closer: nd.Close}
+			nd.Start()
+		case DeltaSS:
+			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, Runtime: ropts})
+			m = member{obj: nd, rt: nd.Runtime(), corrupt: nd.Corrupt, invariant: nd.LocalInvariantHolds, closer: nd.Close}
+			m.restart = nd.RestartDetectable
+			m.state = func() (int64, int64, types.RegVector, []int64) {
+				st := nd.StateSummary()
+				return st.TS, st.SNS, st.Reg, st.PndSNS
+			}
+			nd.Start()
+		case StackedABD:
+			nd := stacked.New(i, net, stacked.Config{Runtime: ropts})
+			m = member{obj: nd, rt: nd.Runtime(), closer: nd.Close}
+			nd.Start()
+		case BoundedSS:
+			nd := bounded.New(i, net, bounded.Config{
+				MaxInt:           cfg.MaxInt,
+				AbortDuringReset: cfg.AbortDuringReset,
+				Runtime:          ropts,
+			})
+			m = member{
+				obj: nd, rt: nd.Runtime(),
+				corrupt:   nd.Inner().Corrupt,
+				invariant: nd.Inner().LocalInvariantHolds,
+				closer:    nd.Close,
+			}
+			m.state = func() (int64, int64, types.RegVector, []int64) {
+				st := nd.Inner().StateSummary()
+				return st.TS, 0, st.Reg, nil
+			}
+			nd.Start()
+		case BoundedDeltaSS:
+			nd := bounded.NewDelta(i, net, cfg.Delta, bounded.Config{
+				MaxInt:           cfg.MaxInt,
+				AbortDuringReset: cfg.AbortDuringReset,
+				Runtime:          ropts,
+			})
+			m = member{
+				obj: nd, rt: nd.Runtime(),
+				corrupt:   nd.InnerDelta().Corrupt,
+				invariant: nd.InnerDelta().LocalInvariantHolds,
+				closer:    nd.Close,
+			}
+			m.state = func() (int64, int64, types.RegVector, []int64) {
+				st := nd.InnerDelta().StateSummary()
+				return st.TS, st.SNS, st.Reg, st.PndSNS
+			}
+			nd.Start()
+		default:
+			net.Close()
+			return nil, ErrUnknownAlg
+		}
+		c.members = append(c.members, m)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Object returns node id's snapshot object.
+func (c *Cluster) Object(id int) Object { return c.members[id].obj }
+
+// Bounded returns node id's bounded-counter wrapper, or nil when the
+// cluster does not run BoundedSS. Experiments use it to read reset
+// statistics.
+func (c *Cluster) Bounded(id int) *bounded.Node {
+	nd, _ := c.members[id].obj.(*bounded.Node)
+	return nd
+}
+
+// Delta returns node id's Algorithm 3 node, or nil when the cluster does
+// not run DeltaSS. Experiments use it to inspect helping activity.
+func (c *Cluster) Delta(id int) *deltasnap.Node {
+	nd, _ := c.members[id].obj.(*deltasnap.Node)
+	return nd
+}
+
+// Write performs a write operation at node id.
+func (c *Cluster) Write(id int, v types.Value) error {
+	if id < 0 || id >= c.cfg.N {
+		return ErrUnknownNode
+	}
+	start := time.Now()
+	err := c.members[id].obj.Write(v)
+	if err == nil {
+		c.writeLat.Record(time.Since(start))
+	}
+	return err
+}
+
+// Snapshot performs a snapshot operation at node id.
+func (c *Cluster) Snapshot(id int) (types.RegVector, error) {
+	if id < 0 || id >= c.cfg.N {
+		return nil, ErrUnknownNode
+	}
+	start := time.Now()
+	snap, err := c.members[id].obj.Snapshot()
+	if err == nil {
+		c.snapLat.Record(time.Since(start))
+	}
+	return snap, err
+}
+
+// WriteLatencies summarises the latency of every successful Write issued
+// through the cluster facade.
+func (c *Cluster) WriteLatencies() metrics.LatencyStats { return c.writeLat.Stats() }
+
+// SnapshotLatencies summarises the latency of every successful Snapshot
+// issued through the cluster facade.
+func (c *Cluster) SnapshotLatencies() metrics.LatencyStats { return c.snapLat.Stats() }
+
+// Crash fails node id (it stops taking steps; messages to it are lost).
+func (c *Cluster) Crash(id int) { c.members[id].rt.Crash() }
+
+// Resume lets node id take steps again without resetting state — the
+// paper's undetectable restart.
+func (c *Cluster) Resume(id int) { c.members[id].rt.Resume() }
+
+// Crashed reports whether node id is currently failed.
+func (c *Cluster) Crashed(id int) bool { return c.members[id].rt.Crashed() }
+
+// RestartDetectable performs the paper's detectable restart at node id:
+// crash, re-initialise every variable, discard queued channel content, and
+// resume. Supported by the self-stabilizing algorithms.
+func (c *Cluster) RestartDetectable(id int) error {
+	if id < 0 || id >= c.cfg.N {
+		return ErrUnknownNode
+	}
+	if c.members[id].restart == nil {
+		return fmt.Errorf("%w: %s has no detectable-restart hook", ErrNotCorruptible, c.cfg.Algorithm)
+	}
+	c.members[id].restart()
+	return nil
+}
+
+// Corrupt injects a transient fault at node id, overwriting all of its
+// algorithm state with arbitrary values.
+func (c *Cluster) Corrupt(id int) error {
+	if c.members[id].corrupt == nil {
+		return ErrNotCorruptible
+	}
+	c.members[id].corrupt(c.rng)
+	return nil
+}
+
+// CorruptAll injects a transient fault at every node.
+func (c *Cluster) CorruptAll() error {
+	for i := range c.members {
+		if err := c.Corrupt(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvariantsHold reports whether the consistency invariants of
+// Definition 1 / Theorem 1 currently hold across all live nodes: locally,
+// ts_i ≥ reg_i[i].ts (and the Algorithm 3 conditions); across nodes,
+// ts_i dominates every reg_j[i].ts and sns_i every pndTsk_j[i].sns.
+// Algorithms without a self-stabilization contract report true.
+func (c *Cluster) InvariantsHold() bool {
+	type view struct {
+		ts, sns int64
+		reg     types.RegVector
+		pndSNS  []int64
+	}
+	views := make([]*view, len(c.members))
+	for i := range c.members {
+		m := &c.members[i]
+		if m.rt.Crashed() {
+			continue
+		}
+		if m.invariant != nil && !m.invariant() {
+			return false
+		}
+		if m.state != nil {
+			ts, sns, reg, pnd := m.state()
+			views[i] = &view{ts: ts, sns: sns, reg: reg, pndSNS: pnd}
+		}
+	}
+	for i, vi := range views {
+		if vi == nil {
+			continue
+		}
+		for _, vj := range views {
+			if vj == nil {
+				continue
+			}
+			if i < len(vj.reg) && vj.reg[i].TS > vi.ts {
+				return false
+			}
+			if vj.pndSNS != nil && i < len(vj.pndSNS) && vj.pndSNS[i] > vi.sns {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LoopCounts returns each node's completed do-forever iteration count.
+func (c *Cluster) LoopCounts() []int64 {
+	out := make([]int64, len(c.members))
+	for i := range c.members {
+		out[i] = c.members[i].rt.LoopCount()
+	}
+	return out
+}
+
+// AwaitCycles blocks until every live node has completed at least k more
+// do-forever iterations, or the timeout expires.
+func (c *Cluster) AwaitCycles(k int64, timeout time.Duration) error {
+	start := c.LoopCounts()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for i := range c.members {
+			if c.members[i].rt.Crashed() {
+				continue
+			}
+			if c.members[i].rt.LoopCount()-start[i] < k {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// CyclesToInvariant measures recovery: it waits until InvariantsHold
+// reports true and returns the maximum number of do-forever iterations any
+// live node needed. It is the measured counterpart of the paper's O(1)
+// recovery theorems.
+func (c *Cluster) CyclesToInvariant(timeout time.Duration) (int64, error) {
+	start := c.LoopCounts()
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.InvariantsHold() {
+			// Require stability across one further cycle so corrupted
+			// values still in transit (which the instantaneous check cannot
+			// see) have had the chance to land and be caught.
+			if err := c.AwaitCycles(1, time.Until(deadline)); err != nil {
+				return 0, err
+			}
+			if !c.InvariantsHold() {
+				continue
+			}
+			var maxD int64
+			for i, s := range c.LoopCounts() {
+				if c.members[i].rt.Crashed() {
+					continue
+				}
+				if d := s - start[i]; d > maxD {
+					maxD = d
+				}
+			}
+			return maxD, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, ErrTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Counters exposes the network traffic meters.
+func (c *Cluster) Counters() *metrics.Counters { return c.net.Counters() }
+
+// Metrics captures a point-in-time traffic snapshot.
+func (c *Cluster) Metrics() metrics.Snapshot { return c.net.Counters().Snapshot() }
+
+// Network exposes the underlying simulated network for partition control.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Close stops every node and the network.
+func (c *Cluster) Close() {
+	for i := range c.members {
+		c.members[i].closer()
+	}
+	c.net.Close()
+}

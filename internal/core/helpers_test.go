@@ -1,0 +1,17 @@
+package core
+
+import (
+	"time"
+
+	"selfstabsnap/internal/netsim"
+)
+
+// lossyAdversary is the standard hostile network used across integration
+// tests: 10% loss, 10% duplication, up to 3ms reordering delay.
+func lossyAdversary() netsim.Adversary {
+	return netsim.Adversary{
+		DropProb: 0.10,
+		DupProb:  0.10,
+		MaxDelay: 3 * time.Millisecond,
+	}
+}

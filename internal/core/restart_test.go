@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+)
+
+// TestDetectableRestartRecoversOwnRegister: after a detectable restart a
+// node's variables (including its own register) are re-initialised; the
+// gossip channel restores the register's last written value from the
+// peers within O(1) cycles, so the node's history is not lost.
+func TestDetectableRestartRecoversOwnRegister(t *testing.T) {
+	for _, alg := range []Algorithm{NonBlockingSS, DeltaSS} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := NewCluster(Config{N: 4, Algorithm: alg, Delta: 1, Seed: 31})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			if err := c.Write(1, types.Value("survives-restart")); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RestartDetectable(1); err != nil {
+				t.Fatal(err)
+			}
+
+			// The restarted node's register entry flows back via gossip.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				snap, err := c.Snapshot(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(snap[1].Val) == "survives-restart" && snap[1].TS == 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("restarted node never recovered its register: %v", snap)
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			// Its NEXT write must supersede the recovered one, not collide
+			// with it — the restarted ts was restored ≥ 1 by the gossip.
+			if err := c.Write(1, types.Value("after-restart")); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := c.Snapshot(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(snap[1].Val) != "after-restart" || snap[1].TS < 2 {
+				t.Fatalf("post-restart write did not supersede: %v", snap[1])
+			}
+		})
+	}
+}
+
+// TestDetectableRestartUnsupportedOnBaselines: the DG baselines have no
+// recovery path, so the facade refuses rather than silently losing state.
+func TestDetectableRestartUnsupported(t *testing.T) {
+	c, err := NewCluster(Config{N: 3, Algorithm: NonBlockingDG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RestartDetectable(0); err == nil {
+		t.Fatal("baseline accepted a detectable restart")
+	}
+	if err := c.RestartDetectable(9); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("out of range: %v", err)
+	}
+}
+
+// TestDetectableRestartChurn: repeated restarts of rotating nodes while
+// the others keep writing; the object stays coherent throughout.
+func TestDetectableRestartChurn(t *testing.T) {
+	c, err := NewCluster(Config{N: 5, Algorithm: NonBlockingSS, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 5; round++ {
+		writer := round % 5
+		if err := c.Write(writer, types.Value("r"+string(rune('0'+round)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RestartDetectable((round + 2) % 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything written by a majority-acknowledged write is recoverable.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := c.Snapshot(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := 0
+		for id := 0; id < 5; id++ {
+			if snap[id].TS >= 1 {
+				good++
+			}
+		}
+		if good == 5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registers not restored after churn: %v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+)
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{NonBlockingDG, NonBlockingSS, AlwaysTerminatingDG, DeltaSS, StackedABD, BoundedSS, BoundedDeltaSS}
+}
+
+// TestSmokeWriteSnapshot exercises a write followed by a snapshot on every
+// algorithm over a perfect network.
+func TestSmokeWriteSnapshot(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := NewCluster(Config{N: 5, Algorithm: alg, Delta: 2, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			if err := c.Write(0, types.Value("v0")); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if err := c.Write(3, types.Value("v3")); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			done := make(chan struct{})
+			var snap types.RegVector
+			var serr error
+			go func() {
+				snap, serr = c.Snapshot(1)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("snapshot did not terminate")
+			}
+			if serr != nil {
+				t.Fatalf("snapshot: %v", serr)
+			}
+			if got := string(snap[0].Val); got != "v0" {
+				t.Errorf("snap[0] = %q, want v0 (full: %v)", got, snap)
+			}
+			if got := string(snap[3].Val); got != "v3" {
+				t.Errorf("snap[3] = %q, want v3 (full: %v)", got, snap)
+			}
+			if snap[0].TS != 1 || snap[3].TS != 1 {
+				t.Errorf("timestamps = %d,%d want 1,1", snap[0].TS, snap[3].TS)
+			}
+		})
+	}
+}
+
+// TestSmokeAdversary repeats the exercise under packet loss, duplication
+// and delay-induced reordering.
+func TestSmokeAdversary(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := NewCluster(Config{
+				N: 5, Algorithm: alg, Delta: 2, Seed: 11,
+				Adversary: lossyAdversary(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			for round := 0; round < 3; round++ {
+				for id := 0; id < 5; id++ {
+					v := types.Value(fmt.Sprintf("r%d-n%d", round, id))
+					if err := c.Write(id, v); err != nil {
+						t.Fatalf("write round %d node %d: %v", round, id, err)
+					}
+				}
+			}
+			snap, err := c.Snapshot(2)
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			for id := 0; id < 5; id++ {
+				want := fmt.Sprintf("r2-n%d", id)
+				if got := string(snap[id].Val); got != want {
+					t.Errorf("snap[%d] = %q, want %q", id, got, want)
+				}
+				if snap[id].TS != 3 {
+					t.Errorf("snap[%d].TS = %d, want 3", id, snap[id].TS)
+				}
+			}
+		})
+	}
+}
+
+// TestSmokeCrashMinority verifies operations complete with f < n/2 crashes.
+func TestSmokeCrashMinority(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := NewCluster(Config{N: 5, Algorithm: alg, Delta: 0, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			c.Crash(3)
+			c.Crash(4)
+			if err := c.Write(0, types.Value("survivor")); err != nil {
+				t.Fatalf("write with 2/5 crashed: %v", err)
+			}
+			snap, err := c.Snapshot(1)
+			if err != nil {
+				t.Fatalf("snapshot with 2/5 crashed: %v", err)
+			}
+			if got := string(snap[0].Val); got != "survivor" {
+				t.Errorf("snap[0] = %q, want survivor", got)
+			}
+		})
+	}
+}

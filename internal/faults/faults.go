@@ -1,0 +1,96 @@
+// Package faults provides the fault-injection machinery of the paper's
+// model (§2): crash and crash-resume schedules, packet-level adversary
+// presets, and transient faults — arbitrary corruption of a node's entire
+// algorithm state while the code stays intact.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"selfstabsnap/internal/netsim"
+)
+
+// Adversary presets used across experiments and tests.
+var (
+	// PerfectNetwork delivers every message instantly, in order.
+	PerfectNetwork = netsim.Adversary{}
+	// MildlyLossy loses 5% and duplicates 5% of packets with up to 2ms
+	// delay-induced reordering.
+	MildlyLossy = netsim.Adversary{DropProb: 0.05, DupProb: 0.05, MaxDelay: 2 * time.Millisecond}
+	// Hostile loses 20%, duplicates 15% and reorders aggressively. Fair
+	// communication still holds (retransmissions eventually get through),
+	// as the paper requires.
+	Hostile = netsim.Adversary{DropProb: 0.20, DupProb: 0.15, MaxDelay: 5 * time.Millisecond}
+)
+
+// Crasher is anything with crash/resume lifecycle control (node runtimes,
+// cluster handles).
+type Crasher interface {
+	Crash(id int)
+	Resume(id int)
+}
+
+// Schedule drives timed crash/resume events against a Crasher.
+type Schedule struct {
+	mu      sync.Mutex
+	timers  []*time.Timer
+	stopped bool
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// CrashAt crashes node id on target after delay d.
+func (s *Schedule) CrashAt(target Crasher, id int, d time.Duration) {
+	s.at(d, func() { target.Crash(id) })
+}
+
+// ResumeAt resumes node id on target after delay d.
+func (s *Schedule) ResumeAt(target Crasher, id int, d time.Duration) {
+	s.at(d, func() { target.Resume(id) })
+}
+
+// CrashFor crashes node id after `after` and resumes it `down` later — the
+// paper's resume (undetectable restart) pattern.
+func (s *Schedule) CrashFor(target Crasher, id int, after, down time.Duration) {
+	s.CrashAt(target, id, after)
+	s.ResumeAt(target, id, after+down)
+}
+
+func (s *Schedule) at(d time.Duration, f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.timers = append(s.timers, time.AfterFunc(d, f))
+}
+
+// Stop cancels all pending events.
+func (s *Schedule) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for _, t := range s.timers {
+		t.Stop()
+	}
+	s.timers = nil
+}
+
+// Corruptible is a node whose full algorithm state can be overwritten by a
+// transient fault.
+type Corruptible interface {
+	Corrupt(rng *rand.Rand)
+}
+
+// CorruptAll injects a transient fault into every node, each with an
+// independent deterministic stream derived from seed. It mirrors the
+// paper's "transient faults occur before the execution starts and leave
+// the system in an arbitrary state".
+func CorruptAll(seed int64, nodes ...Corruptible) {
+	for i, nd := range nodes {
+		nd.Corrupt(rand.New(rand.NewSource(seed + int64(i)*7919)))
+	}
+}

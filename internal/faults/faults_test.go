@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCrasher records crash/resume events.
+type fakeCrasher struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (f *fakeCrasher) Crash(id int) {
+	f.mu.Lock()
+	f.events = append(f.events, "crash")
+	f.mu.Unlock()
+}
+
+func (f *fakeCrasher) Resume(id int) {
+	f.mu.Lock()
+	f.events = append(f.events, "resume")
+	f.mu.Unlock()
+}
+
+func (f *fakeCrasher) snapshot() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.events))
+	copy(out, f.events)
+	return out
+}
+
+func TestCrashForOrdersEvents(t *testing.T) {
+	fc := &fakeCrasher{}
+	s := NewSchedule()
+	defer s.Stop()
+	s.CrashFor(fc, 1, 5*time.Millisecond, 10*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ev := fc.snapshot()
+		if len(ev) == 2 {
+			if ev[0] != "crash" || ev[1] != "resume" {
+				t.Fatalf("events = %v", ev)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("events = %v, want [crash resume]", ev)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStopCancelsPending(t *testing.T) {
+	fc := &fakeCrasher{}
+	s := NewSchedule()
+	s.CrashAt(fc, 0, 50*time.Millisecond)
+	s.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if ev := fc.snapshot(); len(ev) != 0 {
+		t.Fatalf("cancelled event fired: %v", ev)
+	}
+	// Scheduling after Stop is a no-op, not a panic.
+	s.CrashAt(fc, 0, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if ev := fc.snapshot(); len(ev) != 0 {
+		t.Fatalf("post-stop event fired: %v", ev)
+	}
+}
+
+// fakeCorruptible records the rng streams it was corrupted with.
+type fakeCorruptible struct {
+	mu    sync.Mutex
+	draws []int64
+}
+
+func (f *fakeCorruptible) Corrupt(rng *rand.Rand) {
+	f.mu.Lock()
+	f.draws = append(f.draws, rng.Int63())
+	f.mu.Unlock()
+}
+
+func TestCorruptAllDeterministicPerNode(t *testing.T) {
+	a1, b1 := &fakeCorruptible{}, &fakeCorruptible{}
+	CorruptAll(42, a1, b1)
+	a2, b2 := &fakeCorruptible{}, &fakeCorruptible{}
+	CorruptAll(42, a2, b2)
+	if a1.draws[0] != a2.draws[0] || b1.draws[0] != b2.draws[0] {
+		t.Fatal("same seed must corrupt identically")
+	}
+	if a1.draws[0] == b1.draws[0] {
+		t.Fatal("different nodes must get independent streams")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if PerfectNetwork.DropProb != 0 || PerfectNetwork.DupProb != 0 {
+		t.Error("PerfectNetwork not perfect")
+	}
+	if MildlyLossy.DropProb <= 0 || Hostile.DropProb <= MildlyLossy.DropProb {
+		t.Error("preset ordering broken")
+	}
+}

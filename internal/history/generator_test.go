@@ -1,0 +1,182 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+)
+
+// referenceObject is a trivially linearizable snapshot object: a global
+// mutex makes every operation atomic. Histories recorded against it under
+// real concurrency are linearizable BY CONSTRUCTION, so the checker must
+// accept them — and must reject targeted mutations of them. This is the
+// property-based test of the checker itself.
+type referenceObject struct {
+	mu  sync.Mutex
+	reg types.RegVector
+}
+
+func newReference(n int) *referenceObject {
+	return &referenceObject{reg: types.NewRegVector(n)}
+}
+
+func (o *referenceObject) write(id int, v types.Value) {
+	o.mu.Lock()
+	o.reg[id] = types.TSValue{TS: o.reg[id].TS + 1, Val: v.Clone()}
+	o.mu.Unlock()
+}
+
+func (o *referenceObject) snapshot() types.RegVector {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reg.Clone()
+}
+
+// generate records a random concurrent workload against the reference
+// object and returns the recorder.
+func generate(seed int64, n, opsPerNode int) *Recorder {
+	obj := newReference(n)
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)*17))
+			for j := 0; j < opsPerNode; j++ {
+				if rng.Intn(2) == 0 {
+					v := types.Value(fmt.Sprintf("g%d-%d", id, j))
+					end := rec.BeginWrite(id, v)
+					sleepTiny(rng)
+					obj.write(id, v)
+					sleepTiny(rng)
+					end()
+				} else {
+					end := rec.BeginSnapshot(id)
+					sleepTiny(rng)
+					s := obj.snapshot()
+					sleepTiny(rng)
+					end(s)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return rec
+}
+
+func sleepTiny(rng *rand.Rand) {
+	if rng.Intn(3) == 0 {
+		time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+	}
+}
+
+// TestGeneratedHistoriesPass: every randomly generated truly-atomic
+// history must pass the checker (no false positives).
+func TestGeneratedHistoriesPass(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rec := generate(seed, 4, 15)
+		if v := rec.Check(); v != nil {
+			t.Fatalf("seed %d: false positive: %v", seed, v)
+		}
+	}
+}
+
+// TestMutatedHistoriesFail: corrupting a returned snapshot in a generated
+// history must be detected (no blind spots for these mutation classes).
+func TestMutatedHistoriesFail(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(ops []*Op, rng *rand.Rand) bool // returns false if inapplicable
+	}{
+		{"stale-entry", func(ops []*Op, rng *rand.Rand) bool {
+			// Roll one snapshot entry back below a write that finished
+			// before the snapshot began.
+			for _, op := range shuffled(ops, rng) {
+				if op.Kind != KindSnapshot || !op.Returned {
+					continue
+				}
+				for k, e := range op.Snapshot {
+					if e.TS > 0 && hasEarlierWrite(ops, k, e.TS, op) {
+						op.Snapshot[k] = types.TSValue{}
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"phantom-future", func(ops []*Op, rng *rand.Rand) bool {
+			for _, op := range shuffled(ops, rng) {
+				if op.Kind == KindSnapshot && op.Returned && len(op.Snapshot) > 0 {
+					op.Snapshot[0] = types.TSValue{TS: 10_000, Val: types.Value("ghost")}
+					return true
+				}
+			}
+			return false
+		}},
+		{"wrong-value", func(ops []*Op, rng *rand.Rand) bool {
+			for _, op := range shuffled(ops, rng) {
+				if op.Kind != KindSnapshot || !op.Returned {
+					continue
+				}
+				for k, e := range op.Snapshot {
+					if e.TS > 0 {
+						op.Snapshot[k].Val = types.Value("tampered")
+						_ = k
+						return true
+					}
+				}
+			}
+			return false
+		}},
+	}
+
+	for _, m := range mutations {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			detected := 0
+			applicable := 0
+			for seed := int64(100); seed < 130; seed++ {
+				rec := generate(seed, 4, 15)
+				ops := rec.Ops()
+				rng := rand.New(rand.NewSource(seed))
+				if !m.mutate(ops, rng) {
+					continue
+				}
+				applicable++
+				if CheckOps(ops) != nil {
+					detected++
+				}
+			}
+			if applicable == 0 {
+				t.Skip("mutation never applicable at these seeds")
+			}
+			if detected != applicable {
+				t.Errorf("%s: detected %d/%d mutations", m.name, detected, applicable)
+			}
+		})
+	}
+}
+
+func shuffled(ops []*Op, rng *rand.Rand) []*Op {
+	out := make([]*Op, len(ops))
+	copy(out, ops)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// hasEarlierWrite reports whether node k's ts-th write returned before
+// snapshot s was invoked (so erasing it from s must be a violation).
+func hasEarlierWrite(ops []*Op, k int, ts int64, s *Op) bool {
+	for _, op := range ops {
+		if op.Kind == KindWrite && op.Node == k && op.WriteIndex == ts &&
+			op.Returned && op.Return.Before(s.Invoke) {
+			return true
+		}
+	}
+	return false
+}

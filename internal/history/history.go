@@ -1,0 +1,259 @@
+// Package history records concurrent operation histories of a snapshot
+// object and checks them for linearizability (atomicity) — the correctness
+// condition of the paper's Theorem 3: write() and snapshot() operations
+// must appear to take effect instantaneously, in an order consistent with
+// real time.
+//
+// The checker is specialised to SWMR-write/snapshot histories, which admit
+// an efficient sound-and-complete test (unlike general linearizability,
+// which is NP-complete). Because each node's writes are serial and
+// timestamped with consecutive indices, a snapshot result is fully
+// described by the vector of per-node write indices it contains, and a
+// history is linearizable if and only if:
+//
+//  1. content validity — every snapshot's entry (k, ts) carries exactly the
+//     value of node k's ts-th write (or ⊥ for ts=0), and ts never exceeds
+//     the number of writes node k has started;
+//  2. snapshot comparability — the index vectors of all snapshots are
+//     pairwise ⪯-comparable (snapshots must be totally orderable);
+//  3. snapshot monotonicity in real time — if snapshot S1 returned before
+//     snapshot S2 was invoked, then vector(S1) ⪯ vector(S2);
+//  4. write/snapshot real-time order — a snapshot invoked after node k's
+//     w-th write returned must include index ≥ w for k, and a snapshot
+//     that returned before node k's w-th write was invoked must include
+//     index < w for k.
+//
+// Given 1–4, a legal sequential order always exists: sort snapshots by
+// vector and insert each write w_k^j before the first snapshot whose k-th
+// index is ≥ j (standard construction, cf. Delporte-Gallet et al., proof of
+// their Lemma 7).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"selfstabsnap/internal/types"
+)
+
+// Kind distinguishes operation types in a history.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindWrite Kind = iota + 1
+	KindSnapshot
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindWrite:
+		return "write"
+	case KindSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed (or pending) operation.
+type Op struct {
+	Node     int
+	Kind     Kind
+	Invoke   time.Time
+	Return   time.Time
+	Returned bool
+	// WriteIndex and WriteValue describe a write: the node's WriteIndex-th
+	// write (1-based, assigned by the recorder in invocation order).
+	WriteIndex int64
+	WriteValue types.Value
+	// Snapshot is the vector a snapshot returned.
+	Snapshot types.RegVector
+}
+
+// Recorder collects operations concurrently.
+type Recorder struct {
+	mu         sync.Mutex
+	ops        []*Op
+	writeCount map[int]int64
+}
+
+// NewRecorder returns an empty history recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{writeCount: make(map[int]int64)}
+}
+
+// BeginWrite records the invocation of a write at node id and returns a
+// completion callback to invoke when the write returns. The write's index
+// is assigned in invocation order — valid because each node's operations
+// are serial (SWMR).
+func (r *Recorder) BeginWrite(id int, v types.Value) (end func()) {
+	r.mu.Lock()
+	r.writeCount[id]++
+	op := &Op{
+		Node: id, Kind: KindWrite, Invoke: time.Now(),
+		WriteIndex: r.writeCount[id], WriteValue: v.Clone(),
+	}
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		op.Return = time.Now()
+		op.Returned = true
+		r.mu.Unlock()
+	}
+}
+
+// BeginSnapshot records the invocation of a snapshot at node id and returns
+// a completion callback taking the returned vector.
+func (r *Recorder) BeginSnapshot(id int) (end func(types.RegVector)) {
+	r.mu.Lock()
+	op := &Op{Node: id, Kind: KindSnapshot, Invoke: time.Now()}
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+	return func(v types.RegVector) {
+		r.mu.Lock()
+		op.Return = time.Now()
+		op.Returned = true
+		op.Snapshot = v.Clone()
+		r.mu.Unlock()
+	}
+}
+
+// Ops returns a copy of the recorded history.
+func (r *Recorder) Ops() []*Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Violation describes a linearizability failure.
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("linearizability violation (%s): %s", v.Rule, v.Detail)
+}
+
+// Check verifies the recorded history. It returns nil if the history is
+// linearizable, or the first violation found. Pending (unreturned)
+// operations are allowed: a pending write may or may not be visible; a
+// pending snapshot is ignored.
+func (r *Recorder) Check() *Violation {
+	return CheckOps(r.Ops())
+}
+
+// CheckOps verifies an explicit operation list (exported for testing the
+// checker itself).
+func CheckOps(ops []*Op) *Violation {
+	// Index writes by node: writes[k][j-1] is node k's j-th write.
+	writes := map[int][]*Op{}
+	var snaps []*Op
+	for _, op := range ops {
+		switch op.Kind {
+		case KindWrite:
+			writes[op.Node] = append(writes[op.Node], op)
+		case KindSnapshot:
+			if op.Returned {
+				snaps = append(snaps, op)
+			}
+		}
+	}
+	for k, ws := range writes {
+		sort.Slice(ws, func(a, b int) bool { return ws[a].WriteIndex < ws[b].WriteIndex })
+		for j, w := range ws {
+			if w.WriteIndex != int64(j+1) {
+				return &Violation{
+					Rule:   "write-indexing",
+					Detail: fmt.Sprintf("node %d write indices not consecutive at position %d (index %d)", k, j+1, w.WriteIndex),
+				}
+			}
+		}
+	}
+
+	// Rule 1: content validity.
+	for _, s := range snaps {
+		for k, e := range s.Snapshot {
+			ws := writes[k]
+			switch {
+			case e.TS == 0:
+				if len(e.Val) != 0 {
+					return &Violation{
+						Rule:   "content",
+						Detail: fmt.Sprintf("snapshot at node %d has value %q with ts=0 for node %d", s.Node, e.Val, k),
+					}
+				}
+			case e.TS < 0 || e.TS > int64(len(ws)):
+				return &Violation{
+					Rule:   "content",
+					Detail: fmt.Sprintf("snapshot at node %d reports ts=%d for node %d which issued only %d writes", s.Node, e.TS, k, len(ws)),
+				}
+			default:
+				if w := ws[e.TS-1]; !w.WriteValue.Equal(e.Val) {
+					return &Violation{
+						Rule:   "content",
+						Detail: fmt.Sprintf("snapshot at node %d reports (%q,%d) for node %d but write %d wrote %q", s.Node, e.Val, e.TS, k, e.TS, w.WriteValue),
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 2: pairwise comparability.
+	for i := 0; i < len(snaps); i++ {
+		for j := i + 1; j < len(snaps); j++ {
+			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
+			if !vi.LessEq(vj) && !vj.LessEq(vi) {
+				return &Violation{
+					Rule:   "comparability",
+					Detail: fmt.Sprintf("snapshots %v (node %d) and %v (node %d) are incomparable", vi, snaps[i].Node, vj, snaps[j].Node),
+				}
+			}
+		}
+	}
+
+	// Rule 3: real-time monotonicity between snapshots.
+	for i := 0; i < len(snaps); i++ {
+		for j := 0; j < len(snaps); j++ {
+			if i == j || !snaps[i].Return.Before(snaps[j].Invoke) {
+				continue
+			}
+			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
+			if !vi.LessEq(vj) {
+				return &Violation{
+					Rule:   "snapshot-realtime",
+					Detail: fmt.Sprintf("snapshot %v returned before snapshot %v was invoked but is not ⪯ it", vi, vj),
+				}
+			}
+		}
+	}
+
+	// Rule 4: real-time order between writes and snapshots.
+	for _, s := range snaps {
+		for k, ws := range writes {
+			for _, w := range ws {
+				if w.Returned && w.Return.Before(s.Invoke) && s.Snapshot[k].TS < w.WriteIndex {
+					return &Violation{
+						Rule:   "write-visibility",
+						Detail: fmt.Sprintf("write %d of node %d returned before snapshot at node %d was invoked, but snapshot has ts=%d", w.WriteIndex, k, s.Node, s.Snapshot[k].TS),
+					}
+				}
+				if s.Return.Before(w.Invoke) && s.Snapshot[k].TS >= w.WriteIndex {
+					return &Violation{
+						Rule:   "write-freshness",
+						Detail: fmt.Sprintf("snapshot at node %d returned before write %d of node %d was invoked, yet includes ts=%d", s.Node, w.WriteIndex, k, s.Snapshot[k].TS),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+)
+
+// clockT builds deterministic timestamps for hand-written histories.
+func clockT(ms int) time.Time {
+	return time.Unix(0, int64(ms)*int64(time.Millisecond))
+}
+
+func wOp(node int, idx int64, val string, inv, ret int) *Op {
+	return &Op{
+		Node: node, Kind: KindWrite, WriteIndex: idx, WriteValue: types.Value(val),
+		Invoke: clockT(inv), Return: clockT(ret), Returned: true,
+	}
+}
+
+func sOp(node int, vec types.RegVector, inv, ret int) *Op {
+	return &Op{
+		Node: node, Kind: KindSnapshot, Snapshot: vec,
+		Invoke: clockT(inv), Return: clockT(ret), Returned: true,
+	}
+}
+
+func vec(entries ...types.TSValue) types.RegVector { return types.RegVector(entries) }
+func e(ts int64, v string) types.TSValue {
+	if ts == 0 {
+		return types.TSValue{}
+	}
+	return types.TSValue{TS: ts, Val: types.Value(v)}
+}
+
+func TestChecker_EmptyHistory(t *testing.T) {
+	if v := CheckOps(nil); v != nil {
+		t.Errorf("empty history flagged: %v", v)
+	}
+}
+
+func TestChecker_SequentialHistoryOK(t *testing.T) {
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		sOp(1, vec(e(1, "a"), e(0, "")), 20, 30),
+		wOp(0, 2, "b", 40, 50),
+		sOp(1, vec(e(2, "b"), e(0, "")), 60, 70),
+	}
+	if v := CheckOps(ops); v != nil {
+		t.Errorf("legal history flagged: %v", v)
+	}
+}
+
+func TestChecker_ConcurrentWriteMayOrMayNotBeSeen(t *testing.T) {
+	// Write overlaps the snapshot: both inclusion and exclusion are legal.
+	for _, seen := range []int64{0, 1} {
+		val := ""
+		if seen == 1 {
+			val = "a"
+		}
+		ops := []*Op{
+			wOp(0, 1, "a", 10, 50),
+			sOp(1, vec(e(seen, val), e(0, "")), 20, 40),
+		}
+		if v := CheckOps(ops); v != nil {
+			t.Errorf("seen=%d: legal concurrent history flagged: %v", seen, v)
+		}
+	}
+}
+
+func TestChecker_ContentViolation(t *testing.T) {
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		sOp(1, vec(e(1, "WRONG"), e(0, "")), 20, 30),
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "content" {
+		t.Errorf("wrong value not flagged as content violation: %v", v)
+	}
+}
+
+func TestChecker_PhantomWrite(t *testing.T) {
+	// Snapshot reports a write index the node never issued.
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		sOp(1, vec(e(5, "ghost"), e(0, "")), 20, 30),
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "content" {
+		t.Errorf("phantom write not flagged: %v", v)
+	}
+}
+
+func TestChecker_IncomparableSnapshots(t *testing.T) {
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		wOp(1, 1, "b", 0, 10),
+		// Two concurrent snapshots that each saw only "their" write: not
+		// linearizable (snapshots must be totally ordered).
+		sOp(2, vec(e(1, "a"), e(0, "")), 20, 30),
+		sOp(3, vec(e(0, ""), e(1, "b")), 20, 30),
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "comparability" {
+		t.Errorf("incomparable snapshots not flagged: %v", v)
+	}
+}
+
+func TestChecker_SnapshotRealTimeRegression(t *testing.T) {
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		sOp(1, vec(e(1, "a")), 20, 30),
+		// Later snapshot "forgets" the write: new/old regression.
+		sOp(2, vec(e(0, "")), 40, 50),
+	}
+	v := CheckOps(ops)
+	if v == nil {
+		t.Fatal("stale later snapshot not flagged")
+	}
+	if v.Rule != "snapshot-realtime" && v.Rule != "write-visibility" {
+		t.Errorf("unexpected rule %q", v.Rule)
+	}
+}
+
+func TestChecker_WriteVisibility(t *testing.T) {
+	// Write completed before the snapshot began, but is missing from it.
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		sOp(1, vec(e(0, "")), 20, 30),
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "write-visibility" {
+		t.Errorf("missing completed write not flagged: %v", v)
+	}
+}
+
+func TestChecker_WriteFreshness(t *testing.T) {
+	// Snapshot returned before the write was even invoked, yet includes it.
+	ops := []*Op{
+		sOp(1, vec(e(1, "a")), 0, 10),
+		wOp(0, 1, "a", 20, 30),
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "write-freshness" {
+		t.Errorf("future write inclusion not flagged: %v", v)
+	}
+}
+
+func TestChecker_PendingWriteEitherWay(t *testing.T) {
+	// A write that never returned may be included or excluded.
+	pend := &Op{Node: 0, Kind: KindWrite, WriteIndex: 1, WriteValue: types.Value("a"), Invoke: clockT(0)}
+	for _, seen := range []int64{0, 1} {
+		val := ""
+		if seen == 1 {
+			val = "a"
+		}
+		ops := []*Op{pend, sOp(1, vec(e(seen, val)), 10, 20)}
+		if v := CheckOps(ops); v != nil {
+			t.Errorf("pending write (seen=%d) flagged: %v", seen, v)
+		}
+	}
+}
+
+func TestChecker_WriteIndexGap(t *testing.T) {
+	ops := []*Op{
+		wOp(0, 1, "a", 0, 10),
+		wOp(0, 3, "c", 20, 30), // index 2 missing
+	}
+	v := CheckOps(ops)
+	if v == nil || v.Rule != "write-indexing" {
+		t.Errorf("index gap not flagged: %v", v)
+	}
+}
+
+func TestRecorderAssignsIndices(t *testing.T) {
+	r := NewRecorder()
+	end1 := r.BeginWrite(0, types.Value("a"))
+	end1()
+	end2 := r.BeginWrite(0, types.Value("b"))
+	end2()
+	endOther := r.BeginWrite(1, types.Value("x"))
+	endOther()
+	ops := r.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("recorded %d ops", len(ops))
+	}
+	if ops[0].WriteIndex != 1 || ops[1].WriteIndex != 2 || ops[2].WriteIndex != 1 {
+		t.Errorf("indices: %d %d %d", ops[0].WriteIndex, ops[1].WriteIndex, ops[2].WriteIndex)
+	}
+}
+
+func TestRecorderEndToEnd(t *testing.T) {
+	r := NewRecorder()
+	end := r.BeginWrite(0, types.Value("a"))
+	end()
+	endS := r.BeginSnapshot(1)
+	endS(vec(e(1, "a"), e(0, "")))
+	if v := r.Check(); v != nil {
+		t.Errorf("recorded legal history flagged: %v", v)
+	}
+
+	// Now a bad snapshot.
+	endS2 := r.BeginSnapshot(1)
+	endS2(vec(e(0, ""), e(0, "")))
+	if v := r.Check(); v == nil {
+		t.Error("recorded illegal history passed")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Rule: "content", Detail: "boom"}
+	if v.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWrite.String() != "write" || KindSnapshot.String() != "snapshot" {
+		t.Error("kind names broken")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}

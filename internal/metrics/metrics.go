@@ -1,0 +1,201 @@
+// Package metrics provides lock-free counters used to meter every quantity
+// the paper's complexity claims are stated in: messages and bytes by message
+// type, operation counts and latencies, retransmissions, and do-forever loop
+// iterations (the basis of asynchronous-cycle measurements).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+// Counters aggregates network-level counts. All methods are safe for
+// concurrent use. The zero value is ready to use.
+type Counters struct {
+	msgs  [64]atomic.Int64 // indexed by wire.Type
+	bytes [64]atomic.Int64
+	drops atomic.Int64
+	dups  atomic.Int64
+}
+
+// RecordSend accounts one transmitted message of type t and size n bytes.
+func (c *Counters) RecordSend(t wire.Type, n int) {
+	c.msgs[t].Add(1)
+	c.bytes[t].Add(int64(n))
+}
+
+// RecordDrop accounts one message lost by the adversary.
+func (c *Counters) RecordDrop() { c.drops.Add(1) }
+
+// RecordDup accounts one message duplicated by the adversary.
+func (c *Counters) RecordDup() { c.dups.Add(1) }
+
+// Messages returns the number of messages of type t sent so far.
+func (c *Counters) Messages(t wire.Type) int64 { return c.msgs[t].Load() }
+
+// Bytes returns the bytes of type-t messages sent so far.
+func (c *Counters) Bytes(t wire.Type) int64 { return c.bytes[t].Load() }
+
+// TotalMessages returns the number of messages of any type sent so far.
+func (c *Counters) TotalMessages() int64 {
+	var s int64
+	for i := range c.msgs {
+		s += c.msgs[i].Load()
+	}
+	return s
+}
+
+// TotalBytes returns bytes across all message types.
+func (c *Counters) TotalBytes() int64 {
+	var s int64
+	for i := range c.bytes {
+		s += c.bytes[i].Load()
+	}
+	return s
+}
+
+// Drops returns the number of adversarially dropped messages.
+func (c *Counters) Drops() int64 { return c.drops.Load() }
+
+// Dups returns the number of adversarially duplicated messages.
+func (c *Counters) Dups() int64 { return c.dups.Load() }
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{PerType: map[wire.Type]TypeCount{}}
+	for i := range c.msgs {
+		m, b := c.msgs[i].Load(), c.bytes[i].Load()
+		if m == 0 && b == 0 {
+			continue
+		}
+		s.PerType[wire.Type(i)] = TypeCount{Messages: m, Bytes: b}
+		s.Messages += m
+		s.Bytes += b
+	}
+	s.Drops = c.drops.Load()
+	s.Dups = c.dups.Load()
+	return s
+}
+
+// TypeCount is the per-message-type slice of a Snapshot.
+type TypeCount struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	PerType  map[wire.Type]TypeCount
+	Messages int64
+	Bytes    int64
+	Drops    int64
+	Dups     int64
+}
+
+// Sub returns the difference s − o, the traffic between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := Snapshot{
+		PerType:  map[wire.Type]TypeCount{},
+		Messages: s.Messages - o.Messages,
+		Bytes:    s.Bytes - o.Bytes,
+		Drops:    s.Drops - o.Drops,
+		Dups:     s.Dups - o.Dups,
+	}
+	for t, tc := range s.PerType {
+		prev := o.PerType[t]
+		diff := TypeCount{Messages: tc.Messages - prev.Messages, Bytes: tc.Bytes - prev.Bytes}
+		if diff.Messages != 0 || diff.Bytes != 0 {
+			d.PerType[t] = diff
+		}
+	}
+	return d
+}
+
+// MessagesOf sums the message counts of the given types.
+func (s Snapshot) MessagesOf(tt ...wire.Type) int64 {
+	var n int64
+	for _, t := range tt {
+		n += s.PerType[t].Messages
+	}
+	return n
+}
+
+// BytesOf sums the byte counts of the given types.
+func (s Snapshot) BytesOf(tt ...wire.Type) int64 {
+	var n int64
+	for _, t := range tt {
+		n += s.PerType[t].Bytes
+	}
+	return n
+}
+
+// String renders the snapshot as an aligned table sorted by message type.
+func (s Snapshot) String() string {
+	tt := make([]wire.Type, 0, len(s.PerType))
+	for t := range s.PerType {
+		tt = append(tt, t)
+	}
+	sort.Slice(tt, func(i, j int) bool { return tt[i] < tt[j] })
+	var b strings.Builder
+	for _, t := range tt {
+		tc := s.PerType[t]
+		fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d\n", t, tc.Messages, tc.Bytes)
+	}
+	fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d drops=%d dups=%d\n", "TOTAL", s.Messages, s.Bytes, s.Drops, s.Dups)
+	return b.String()
+}
+
+// LatencyRecorder accumulates operation latencies. Safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one latency sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Stats summarises the recorded samples.
+func (l *LatencyRecorder) Stats() LatencyStats {
+	l.mu.Lock()
+	samples := make([]time.Duration, len(l.samples))
+	copy(samples, l.samples)
+	l.mu.Unlock()
+
+	st := LatencyStats{Count: len(samples)}
+	if st.Count == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	st.Mean = sum / time.Duration(st.Count)
+	st.Min = samples[0]
+	st.Max = samples[st.Count-1]
+	st.P50 = samples[st.Count/2]
+	st.P99 = samples[(st.Count*99)/100]
+	return st
+}
+
+// LatencyStats summarises a latency distribution.
+type LatencyStats struct {
+	Count               int
+	Mean, Min, Max, P50 time.Duration
+	P99                 time.Duration
+}
+
+// String renders the stats on one line.
+func (s LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+}

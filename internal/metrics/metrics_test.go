@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.RecordSend(wire.TWrite, 100)
+	c.RecordSend(wire.TWrite, 50)
+	c.RecordSend(wire.TGossip, 10)
+	c.RecordDrop()
+	c.RecordDup()
+
+	if c.Messages(wire.TWrite) != 2 || c.Bytes(wire.TWrite) != 150 {
+		t.Error("per-type counts wrong")
+	}
+	if c.TotalMessages() != 3 || c.TotalBytes() != 160 {
+		t.Error("totals wrong")
+	}
+	if c.Drops() != 1 || c.Dups() != 1 {
+		t.Error("drop/dup wrong")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.RecordSend(wire.TSnapshot, 7)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Messages(wire.TSnapshot) != 8000 {
+		t.Errorf("lost updates: %d", c.Messages(wire.TSnapshot))
+	}
+}
+
+func TestSnapshotAndSub(t *testing.T) {
+	var c Counters
+	c.RecordSend(wire.TWrite, 100)
+	before := c.Snapshot()
+	c.RecordSend(wire.TWrite, 100)
+	c.RecordSend(wire.TSave, 30)
+	after := c.Snapshot()
+
+	d := after.Sub(before)
+	if d.Messages != 2 || d.Bytes != 130 {
+		t.Errorf("diff totals: %d msgs %d bytes", d.Messages, d.Bytes)
+	}
+	if d.PerType[wire.TWrite].Messages != 1 || d.PerType[wire.TSave].Messages != 1 {
+		t.Errorf("diff per-type: %v", d.PerType)
+	}
+	if d.MessagesOf(wire.TWrite, wire.TSave) != 2 {
+		t.Error("MessagesOf wrong")
+	}
+	if d.BytesOf(wire.TSave) != 30 {
+		t.Error("BytesOf wrong")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.RecordSend(wire.TWrite, 10)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "WRITE") || !strings.Contains(s, "TOTAL") {
+		t.Errorf("render missing rows: %s", s)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if st := l.Stats(); st.Count != 0 {
+		t.Error("empty recorder not empty")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	st := l.Stats()
+	if st.Count != 100 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.Min != time.Millisecond || st.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.P50 < 40*time.Millisecond || st.P50 > 60*time.Millisecond {
+		t.Errorf("p50 = %v", st.P50)
+	}
+	if st.P99 < 95*time.Millisecond {
+		t.Errorf("p99 = %v", st.P99)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+}

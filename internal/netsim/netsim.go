@@ -1,0 +1,236 @@
+// Package netsim provides the asynchronous, failure-prone message-passing
+// substrate of the paper's system model (§2): n nodes, a bidirectional
+// bounded-capacity channel between every pair, no bound on communication
+// delay, and an adversary that may lose, duplicate, and reorder packets.
+//
+// The simulator is an in-memory Transport implementation. Each message send
+// is metered (count and encoded size in bytes) so experiments can verify the
+// paper's communication-complexity claims; an optional per-network trace
+// hook feeds the space-time diagrams that reproduce the paper's figures.
+// A companion real-TCP implementation of the same Transport interface lives
+// in package tcpnet.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/wire"
+)
+
+// Transport is the interface node runtimes communicate through. Both the
+// in-memory simulator (Network) and the TCP transport implement it.
+type Transport interface {
+	// Send transmits m from node `from` to node `to`. The message is
+	// deep-copied (or serialized); the caller may keep mutating its fields.
+	Send(from, to int, m *wire.Message)
+	// Recv blocks until a message addressed to node id arrives; ok is false
+	// once the transport is closed.
+	Recv(id int) (m *wire.Message, ok bool)
+	// N returns the cluster size.
+	N() int
+	// Counters exposes the traffic meters.
+	Counters() *metrics.Counters
+	// CloseEndpoint unblocks node id's receiver permanently; its Recv
+	// returns ok=false once drained. Used by node runtimes on shutdown.
+	CloseEndpoint(id int)
+	// Close tears the transport down and unblocks all receivers.
+	Close()
+}
+
+// Adversary configures the packet-level misbehaviour of every link.
+// The zero value is a perfect network with instantaneous delivery.
+type Adversary struct {
+	// DropProb is the probability a packet is silently lost.
+	DropProb float64
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// MinDelay and MaxDelay bound the uniformly random delivery delay.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+}
+
+// delay draws a delivery delay; rng must be guarded by the caller.
+func (a Adversary) delay(rng *rand.Rand) time.Duration {
+	if a.MaxDelay <= a.MinDelay {
+		return a.MinDelay
+	}
+	return a.MinDelay + time.Duration(rng.Int63n(int64(a.MaxDelay-a.MinDelay)))
+}
+
+// Config parameterises a simulated network.
+type Config struct {
+	N         int       // number of nodes (ids 0..N-1)
+	Seed      int64     // seed for all adversarial randomness
+	InboxCap  int       // bounded channel capacity per node (default 4096)
+	Adversary Adversary // link misbehaviour
+	Trace     TraceHook // optional send/deliver observer (may be nil)
+}
+
+// TraceHook observes message events. Implementations must be fast and
+// concurrency-safe; package trace provides one.
+type TraceHook interface {
+	OnSend(from, to int, m *wire.Message, at time.Time)
+	OnDeliver(from, to int, m *wire.Message, at time.Time)
+}
+
+// Network is the in-memory simulated transport.
+type Network struct {
+	cfg      Config
+	inboxes  []*inbox
+	counters metrics.Counters
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	blocked map[[2]int]bool // directed partition cuts
+	seq     uint64
+	closed  bool
+	timers  sync.WaitGroup
+}
+
+// New creates a simulated network for cfg.N nodes.
+func New(cfg Config) *Network {
+	if cfg.InboxCap <= 0 {
+		cfg.InboxCap = 4096
+	}
+	n := &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		blocked: make(map[[2]int]bool),
+	}
+	n.inboxes = make([]*inbox, cfg.N)
+	for i := range n.inboxes {
+		n.inboxes[i] = newInbox(cfg.InboxCap)
+	}
+	return n
+}
+
+// N returns the cluster size.
+func (n *Network) N() int { return n.cfg.N }
+
+// Counters exposes the traffic meters.
+func (n *Network) Counters() *metrics.Counters { return &n.counters }
+
+// Send transmits a deep copy of m, subject to the adversary: the copy may be
+// dropped, duplicated, and delayed (delays reorder messages relative to each
+// other). Sending to self is delivered like any other message, as in the
+// paper's model where a node's broadcast includes itself.
+func (n *Network) Send(from, to int, m *wire.Message) {
+	if to < 0 || to >= n.cfg.N {
+		return
+	}
+	n.mu.Lock()
+	if n.closed || n.blocked[[2]int{from, to}] {
+		n.mu.Unlock()
+		return
+	}
+	n.seq++
+	copies := 1
+	if n.cfg.Adversary.DropProb > 0 && n.rng.Float64() < n.cfg.Adversary.DropProb {
+		copies = 0
+		n.counters.RecordDrop()
+	} else if n.cfg.Adversary.DupProb > 0 && n.rng.Float64() < n.cfg.Adversary.DupProb {
+		copies = 2
+		n.counters.RecordDup()
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		delays[i] = n.cfg.Adversary.delay(n.rng)
+	}
+	seq := n.seq
+	n.mu.Unlock()
+
+	c := m.Clone()
+	c.From, c.To, c.Seq = int32(from), int32(to), seq
+	n.counters.RecordSend(c.Type, c.Size())
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.OnSend(from, to, c, time.Now())
+	}
+
+	for _, d := range delays {
+		dup := c
+		if len(delays) > 1 {
+			dup = c.Clone()
+		}
+		if d <= 0 {
+			n.deliver(from, to, dup)
+			continue
+		}
+		n.timers.Add(1)
+		time.AfterFunc(d, func() {
+			defer n.timers.Done()
+			n.deliver(from, to, dup)
+		})
+	}
+}
+
+func (n *Network) deliver(from, to int, m *wire.Message) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.inboxes[to].push(m)
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.OnDeliver(from, to, m, time.Now())
+	}
+}
+
+// Recv blocks until a message for node id arrives or the network is closed.
+func (n *Network) Recv(id int) (*wire.Message, bool) {
+	return n.inboxes[id].pop()
+}
+
+// CloseEndpoint permanently closes node id's inbox.
+func (n *Network) CloseEndpoint(id int) { n.inboxes[id].close() }
+
+// QueueLen reports the number of undelivered messages waiting for node id.
+func (n *Network) QueueLen(id int) int { return n.inboxes[id].len() }
+
+// DrainInbox discards node id's queued messages, modelling the loss of
+// channel content on a detectable restart.
+func (n *Network) DrainInbox(id int) { n.inboxes[id].drain() }
+
+// SetCut blocks (or unblocks) the directed link from → to. Cutting both
+// directions of every link between two node sets partitions the network.
+func (n *Network) SetCut(from, to int, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cut {
+		n.blocked[[2]int{from, to}] = true
+	} else {
+		delete(n.blocked, [2]int{from, to})
+	}
+}
+
+// Isolate cuts all links to and from node id (both directions).
+func (n *Network) Isolate(id int, isolated bool) {
+	for k := 0; k < n.cfg.N; k++ {
+		if k == id {
+			continue
+		}
+		n.SetCut(id, k, isolated)
+		n.SetCut(k, id, isolated)
+	}
+}
+
+// Close shuts the network down, waits for in-flight delayed deliveries, and
+// unblocks all receivers.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.timers.Wait()
+	for _, q := range n.inboxes {
+		q.close()
+	}
+}
+
+var _ Transport = (*Network)(nil)

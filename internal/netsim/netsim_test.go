@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+func msg(t wire.Type) *wire.Message { return &wire.Message{Type: t} }
+
+func TestDeliveryBasic(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	n.Send(0, 1, msg(wire.TWrite))
+	m, ok := n.Recv(1)
+	if !ok || m.Type != wire.TWrite || m.From != 0 || m.To != 1 {
+		t.Fatalf("got %+v ok=%v", m, ok)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	n := New(Config{N: 1, Seed: 1})
+	defer n.Close()
+	n.Send(0, 0, msg(wire.TGossip))
+	if m, ok := n.Recv(0); !ok || m.Type != wire.TGossip {
+		t.Fatal("self delivery failed")
+	}
+}
+
+func TestSendClones(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	orig := &wire.Message{Type: wire.TWrite, SSN: 1}
+	n.Send(0, 1, orig)
+	orig.SSN = 999 // mutate after send
+	got, _ := n.Recv(1)
+	if got.SSN != 1 {
+		t.Errorf("delivered message aliases sender state: SSN=%d", got.SSN)
+	}
+}
+
+func TestOutOfRangeAndCut(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	n.Send(0, 7, msg(wire.TWrite))  // dropped silently
+	n.Send(0, -1, msg(wire.TWrite)) // dropped silently
+	n.SetCut(0, 1, true)
+	n.Send(0, 1, msg(wire.TWrite))
+	if got := n.Counters().Messages(wire.TWrite); got != 0 {
+		t.Errorf("cut link metered %d sends", got)
+	}
+	n.SetCut(0, 1, false)
+	n.Send(0, 1, msg(wire.TWrite))
+	if m, ok := n.Recv(1); !ok || m.Type != wire.TWrite {
+		t.Fatal("link not restored")
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	n := New(Config{N: 3, Seed: 1})
+	defer n.Close()
+	n.Isolate(1, true)
+	n.Send(0, 1, msg(wire.TWrite))
+	n.Send(1, 2, msg(wire.TWrite))
+	n.Send(0, 2, msg(wire.TWrite))
+	if m, ok := n.Recv(2); !ok || m.From != 0 {
+		t.Fatal("unrelated link affected")
+	}
+	if n.QueueLen(1) != 0 {
+		t.Error("isolated node received a message")
+	}
+	n.Isolate(1, false)
+	n.Send(0, 1, msg(wire.TWrite))
+	if _, ok := n.Recv(1); !ok {
+		t.Fatal("link not restored after isolation")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	n := New(Config{N: 2, Seed: 3, Adversary: Adversary{DropProb: 1.0}})
+	defer n.Close()
+	for i := 0; i < 50; i++ {
+		n.Send(0, 1, msg(wire.TWrite))
+	}
+	if n.QueueLen(1) != 0 {
+		t.Error("DropProb=1 delivered messages")
+	}
+	if n.Counters().Drops() != 50 {
+		t.Errorf("drops = %d, want 50", n.Counters().Drops())
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(Config{N: 2, Seed: 5, Adversary: Adversary{DupProb: 1.0}})
+	defer n.Close()
+	n.Send(0, 1, msg(wire.TWrite))
+	got := 0
+	for {
+		deadline := time.After(100 * time.Millisecond)
+		done := make(chan bool, 1)
+		go func() {
+			_, ok := n.Recv(1)
+			done <- ok
+		}()
+		select {
+		case ok := <-done:
+			if ok {
+				got++
+				continue
+			}
+		case <-deadline:
+		}
+		break
+	}
+	if got != 2 {
+		t.Errorf("DupProb=1 delivered %d copies, want 2", got)
+	}
+}
+
+func TestDelayReordersAndEventuallyDelivers(t *testing.T) {
+	n := New(Config{N: 2, Seed: 9, Adversary: Adversary{MinDelay: 0, MaxDelay: 3 * time.Millisecond}})
+	defer n.Close()
+	const total = 200
+	for i := 0; i < total; i++ {
+		n.Send(0, 1, &wire.Message{Type: wire.TWrite, SSN: int64(i)})
+	}
+	var order []int64
+	for i := 0; i < total; i++ {
+		m, ok := n.Recv(1)
+		if !ok {
+			t.Fatalf("only %d/%d delivered", i, total)
+		}
+		order = append(order, m.SSN)
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("random delays produced perfectly ordered delivery (reordering adversary ineffective)")
+	}
+}
+
+func TestBoundedInboxDropsOldest(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1, InboxCap: 4})
+	defer n.Close()
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, &wire.Message{Type: wire.TWrite, SSN: int64(i)})
+	}
+	if got := n.QueueLen(1); got != 4 {
+		t.Fatalf("queue len = %d, want cap 4", got)
+	}
+	m, _ := n.Recv(1)
+	if m.SSN != 6 {
+		t.Errorf("oldest surviving message SSN=%d, want 6 (drop-oldest)", m.SSN)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	n.Send(0, 1, msg(wire.TWrite))
+	n.Send(0, 1, msg(wire.TGossip))
+	n.Send(1, 0, msg(wire.TWriteAck))
+	s := n.Counters().Snapshot()
+	if s.Messages != 3 {
+		t.Errorf("total = %d", s.Messages)
+	}
+	if s.PerType[wire.TWrite].Messages != 1 || s.PerType[wire.TGossip].Messages != 1 {
+		t.Errorf("per-type wrong: %v", s.PerType)
+	}
+	if s.Bytes <= 0 {
+		t.Error("bytes not metered")
+	}
+}
+
+func TestDrainInbox(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	n.Send(0, 1, msg(wire.TWrite))
+	n.Send(0, 1, msg(wire.TWrite))
+	n.DrainInbox(1)
+	if n.QueueLen(1) != 0 {
+		t.Error("drain left messages")
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := n.Recv(1); ok {
+			t.Error("Recv returned a message after close")
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	n.Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Recv not unblocked by Close")
+	}
+}
+
+func TestCloseEndpointOnly(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1})
+	defer n.Close()
+	n.CloseEndpoint(1)
+	if _, ok := n.Recv(1); ok {
+		t.Error("closed endpoint still receives")
+	}
+	n.Send(0, 0, msg(wire.TWrite))
+	if _, ok := n.Recv(0); !ok {
+		t.Error("other endpoint affected")
+	}
+}
+
+func TestConcurrentSendRecv(t *testing.T) {
+	n := New(Config{N: 4, Seed: 1, Adversary: Adversary{MaxDelay: time.Millisecond}})
+	var wg sync.WaitGroup
+	const per = 200
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Send(s, (s+1)%4, msg(wire.TGossip))
+			}
+		}(s)
+	}
+	var recvWg sync.WaitGroup
+	counts := make([]int, 4)
+	for r := 0; r < 4; r++ {
+		recvWg.Add(1)
+		go func(r int) {
+			defer recvWg.Done()
+			for {
+				if _, ok := n.Recv(r); !ok {
+					return
+				}
+				counts[r]++
+			}
+		}(r)
+	}
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond) // let delayed deliveries land
+	n.Close()
+	recvWg.Wait()
+	total := counts[0] + counts[1] + counts[2] + counts[3]
+	if total != 4*per {
+		t.Errorf("delivered %d, want %d", total, 4*per)
+	}
+}

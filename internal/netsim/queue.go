@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"sync"
+
+	"selfstabsnap/internal/wire"
+)
+
+// inbox is a bounded FIFO of messages with blocking receive. When full, the
+// oldest message is discarded — this models the paper's bounded-capacity
+// communication channels: overload loses messages instead of blocking the
+// sender or growing without bound.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []*wire.Message
+	head   int
+	count  int
+	closed bool
+}
+
+func newInbox(capacity int) *inbox {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &inbox{buf: make([]*wire.Message, capacity)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues m, evicting the oldest entry if the inbox is full. It
+// reports whether an eviction happened.
+func (q *inbox) push(m *wire.Message) (evicted bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	if q.count == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.count--
+		evicted = true
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = m
+	q.count++
+	q.cond.Signal()
+	return evicted
+}
+
+// pop blocks until a message is available or the inbox is closed.
+func (q *inbox) pop() (*wire.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.count == 0 {
+		return nil, false
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return m, true
+}
+
+// drain discards all queued messages (used when a node crashes with a
+// detectable restart: its channel content is lost).
+func (q *inbox) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.head, q.count = 0, 0
+}
+
+// close wakes all receivers; subsequent pops return false once empty.
+func (q *inbox) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len returns the number of queued messages.
+func (q *inbox) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}

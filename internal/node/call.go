@@ -1,0 +1,177 @@
+package node
+
+import (
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+// call is one in-flight quorum interaction: a broadcast retransmitted until
+// enough distinct nodes acknowledge.
+type call struct {
+	id      uint64
+	accept  func(*wire.Message) bool
+	mu      chan struct{} // 1-buffered semaphore guarding senders/msgs
+	senders map[int32]struct{}
+	msgs    []*wire.Message
+	notify  chan struct{}
+}
+
+func (c *call) offer(m *wire.Message) {
+	if !c.accept(m) {
+		return
+	}
+	c.mu <- struct{}{}
+	if _, dup := c.senders[m.From]; !dup {
+		c.senders[m.From] = struct{}{}
+		c.msgs = append(c.msgs, m)
+		select {
+		case c.notify <- struct{}{}:
+		default:
+		}
+	}
+	<-c.mu
+}
+
+func (c *call) snapshot() (int, []*wire.Message) {
+	c.mu <- struct{}{}
+	n := len(c.senders)
+	msgs := make([]*wire.Message, len(c.msgs))
+	copy(msgs, c.msgs)
+	<-c.mu
+	return n, msgs
+}
+
+// offer routes an arriving message to every registered call; each call's
+// acceptance predicate decides whether the message is one of its acks.
+func (r *Runtime) offer(m *wire.Message) {
+	r.mu.Lock()
+	calls := make([]*call, 0, len(r.collector.calls))
+	for _, c := range r.collector.calls {
+		calls = append(calls, c)
+	}
+	r.mu.Unlock()
+	for _, c := range calls {
+		c.offer(m)
+	}
+}
+
+// CallOpts parameterises a quorum call.
+type CallOpts struct {
+	// Build constructs the request to (re)transmit. It is invoked once per
+	// transmission round, so a "repeat broadcast reg" in the pseudocode
+	// naturally re-reads current state. Must be safe to call from the
+	// caller's goroutine (take the algorithm lock inside if needed).
+	Build func() *wire.Message
+	// Accept reports whether an arriving message is an acknowledgment of
+	// this call. It runs on the dispatcher goroutine and must only rely on
+	// data captured immutably when the call began (e.g. an ssn value or a
+	// cloned lReg vector).
+	Accept func(*wire.Message) bool
+	// Quorum is the number of distinct acknowledging nodes required;
+	// 0 means a majority (⌊n/2⌋+1).
+	Quorum int
+	// Stop, if non-nil, is an early-exit condition checked before every
+	// transmission round and after every acknowledgment (the
+	// "(S∩Δ)=∅ or ..." disjunct of Algorithm 3 line 89). It may take the
+	// algorithm lock.
+	Stop func() bool
+}
+
+// Call performs the paper's "repeat broadcast … until … received from a
+// majority" pattern: it broadcasts Build()'s message, retransmits every
+// RetxInterval, and returns the set of accepted acknowledgments (one per
+// distinct sender — the Rec set merged by the algorithms) once the quorum is
+// reached or Stop reports true. It aborts with ErrCrashed/ErrClosed if the
+// node fails or shuts down mid-call, and retries across an
+// undetectable restart are the caller's responsibility.
+func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
+	quorum := o.Quorum
+	if quorum <= 0 {
+		quorum = r.Majority()
+	}
+
+	crashCh, _, err := r.crashSignal()
+	if err != nil {
+		return nil, err
+	}
+
+	c := &call{
+		accept:  o.Accept,
+		mu:      make(chan struct{}, 1),
+		senders: make(map[int32]struct{}),
+		notify:  make(chan struct{}, 1),
+	}
+	r.mu.Lock()
+	r.collector.next++
+	c.id = r.collector.next
+	r.collector.calls[c.id] = c
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.collector.calls, c.id)
+		r.mu.Unlock()
+	}()
+
+	retx := time.NewTicker(r.opts.RetxInterval)
+	defer retx.Stop()
+
+	transmit := func() {
+		if m := o.Build(); m != nil {
+			r.Broadcast(m)
+		}
+	}
+
+	if o.Stop != nil && o.Stop() {
+		_, msgs := c.snapshot()
+		return msgs, nil
+	}
+	transmit()
+
+	for {
+		select {
+		case <-r.closeCh:
+			return nil, ErrClosed
+		case <-crashCh:
+			return nil, ErrCrashed
+		case <-c.notify:
+			n, msgs := c.snapshot()
+			if n >= quorum {
+				return msgs, nil
+			}
+			if o.Stop != nil && o.Stop() {
+				return msgs, nil
+			}
+		case <-retx.C:
+			if o.Stop != nil && o.Stop() {
+				_, msgs := c.snapshot()
+				return msgs, nil
+			}
+			transmit()
+		}
+	}
+}
+
+// WaitUntil blocks until check() returns true, polling at the loop interval
+// and waking on crash/close. It implements the pseudocode's "wait until"
+// statements. check may take the algorithm lock.
+func (r *Runtime) WaitUntil(check func() bool) error {
+	crashCh, _, err := r.crashSignal()
+	if err != nil {
+		return err
+	}
+	t := time.NewTicker(r.opts.LoopInterval)
+	defer t.Stop()
+	for {
+		if check() {
+			return nil
+		}
+		select {
+		case <-r.closeCh:
+			return ErrClosed
+		case <-crashCh:
+			return ErrCrashed
+		case <-t.C:
+		}
+	}
+}

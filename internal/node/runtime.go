@@ -1,0 +1,289 @@
+// Package node provides the per-node runtime every algorithm in this
+// repository is built on. It realises the paper's execution model (§2):
+//
+//   - a do-forever loop, driven at a configurable interval, whose body the
+//     algorithm supplies (Tick);
+//   - message arrival events dispatched to the algorithm's handler
+//     (HandleMessage), one at a time per node, mirroring the paper's atomic
+//     steps;
+//   - the quorum service the paper assumes ("deals with packet loss,
+//     reordering, and duplication"): Call retransmits a request until a
+//     majority of distinct nodes acknowledge it, or an algorithm-supplied
+//     early-exit condition holds;
+//   - crash, resume (undetectable restart) and detectable-restart
+//     lifecycle transitions used by the failure experiments.
+//
+// Threading model: one dispatcher goroutine per node delivers messages, one
+// loop goroutine drives ticks, and client operations run on their callers'
+// goroutines. Algorithms guard their state with their own mutex; the runtime
+// never holds it. Ack acceptance predicates run on the dispatcher goroutine
+// and must only touch data captured immutably at call time.
+package node
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/wire"
+)
+
+// Lifecycle and operation errors.
+var (
+	ErrCrashed = errors.New("node: node is crashed")
+	ErrClosed  = errors.New("node: runtime closed")
+	ErrAborted = errors.New("node: operation aborted")
+)
+
+// Algorithm is the behaviour a protocol plugs into a Runtime.
+type Algorithm interface {
+	// HandleMessage processes one arriving message (server side and ack
+	// routing). It must not block indefinitely.
+	HandleMessage(m *wire.Message)
+	// Tick executes one iteration of the do-forever loop.
+	Tick()
+}
+
+// Options tunes a Runtime. The zero value gets sensible defaults.
+type Options struct {
+	// LoopInterval is the pause between do-forever iterations (default 2ms).
+	LoopInterval time.Duration
+	// RetxInterval is the retransmission period of unacknowledged quorum
+	// calls (default 5ms).
+	RetxInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.LoopInterval <= 0 {
+		o.LoopInterval = 2 * time.Millisecond
+	}
+	if o.RetxInterval <= 0 {
+		o.RetxInterval = 5 * time.Millisecond
+	}
+	return o
+}
+
+// Runtime is the per-node execution engine.
+type Runtime struct {
+	id   int
+	n    int
+	tr   netsim.Transport
+	opts Options
+
+	alg Algorithm
+
+	mu        sync.Mutex
+	crashed   bool
+	closed    bool
+	crashGen  uint64        // incremented on every crash, for call abortion
+	crashCh   chan struct{} // closed on crash; replaced on resume
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+	collector struct {
+		next  uint64
+		calls map[uint64]*call
+	}
+
+	loopCount  atomic.Int64
+	tickActive atomic.Bool
+}
+
+// NewRuntime creates a runtime for node id over tr running alg. Start must
+// be called before messages flow.
+func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runtime {
+	r := &Runtime{
+		id:      id,
+		n:       tr.N(),
+		tr:      tr,
+		opts:    opts.withDefaults(),
+		alg:     alg,
+		crashCh: make(chan struct{}),
+		closeCh: make(chan struct{}),
+	}
+	r.collector.calls = make(map[uint64]*call)
+	return r
+}
+
+// ID returns this node's identifier.
+func (r *Runtime) ID() int { return r.id }
+
+// N returns the cluster size.
+func (r *Runtime) N() int { return r.n }
+
+// Majority returns the quorum size ⌊n/2⌋+1.
+func (r *Runtime) Majority() int { return r.n/2 + 1 }
+
+// LoopCount returns the number of completed do-forever iterations; recovery
+// experiments use it to measure asynchronous cycles.
+func (r *Runtime) LoopCount() int64 { return r.loopCount.Load() }
+
+// Start launches the dispatcher and do-forever goroutines.
+func (r *Runtime) Start() {
+	r.wg.Add(2)
+	go r.dispatch()
+	go r.loop()
+}
+
+// Close permanently stops the runtime and waits for its goroutines. The
+// transport must be closed separately (it is shared).
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.closeCh)
+	if !r.crashed {
+		r.crashed = true
+		close(r.crashCh)
+	}
+	r.mu.Unlock()
+	r.tr.CloseEndpoint(r.id) // unblock the dispatcher's Recv
+	r.wg.Wait()
+}
+
+func (r *Runtime) dispatch() {
+	defer r.wg.Done()
+	for {
+		m, ok := r.tr.Recv(r.id)
+		if !ok {
+			return
+		}
+		select {
+		case <-r.closeCh:
+			return
+		default:
+		}
+		if r.Crashed() {
+			continue // a crashed node takes no steps; arriving messages are lost
+		}
+		r.alg.HandleMessage(m)
+		r.offer(m)
+	}
+}
+
+func (r *Runtime) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.LoopInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closeCh:
+			return
+		case <-t.C:
+			if r.Crashed() {
+				continue
+			}
+			r.tickActive.Store(true)
+			r.alg.Tick()
+			r.tickActive.Store(false)
+			r.loopCount.Add(1)
+		}
+	}
+}
+
+// Crashed reports whether the node is currently failed.
+func (r *Runtime) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// Crash fails the node: it stops taking steps and every in-flight quorum
+// call aborts with ErrCrashed. Messages arriving while crashed are lost.
+func (r *Runtime) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed || r.closed {
+		return
+	}
+	r.crashed = true
+	r.crashGen++
+	close(r.crashCh)
+}
+
+// Resume lets a crashed node take steps again without restarting its
+// program — the paper's "undetectable restart". State is preserved.
+func (r *Runtime) Resume() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.crashed || r.closed {
+		return
+	}
+	r.crashed = false
+	r.crashCh = make(chan struct{})
+}
+
+// InboxDrainer is implemented by transports whose per-node channel content
+// can be discarded (the in-memory simulator). A detectable restart loses
+// the node's channel content along with its state.
+type InboxDrainer interface {
+	DrainInbox(id int)
+}
+
+// RestartDetectable performs the paper's "detectable restart": the node
+// restarts its program with all variables re-initialised. reset must
+// reinstall the algorithm's initial state (it runs while the node is
+// still crashed, so no step can observe a half-reset state); queued
+// channel content is discarded where the transport supports it.
+func (r *Runtime) RestartDetectable(reset func()) {
+	r.Crash() // no-op if already crashed
+	if d, ok := r.tr.(InboxDrainer); ok {
+		d.DrainInbox(r.id)
+	}
+	reset()
+	r.Resume()
+}
+
+// crashSignal returns the channel closed at the next crash, plus the current
+// crash generation.
+func (r *Runtime) crashSignal() (<-chan struct{}, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, ErrClosed
+	}
+	if r.crashed {
+		return nil, 0, ErrCrashed
+	}
+	return r.crashCh, r.crashGen, nil
+}
+
+// Send transmits m to node `to` (metering and adversary handled by the
+// transport). Sends from a crashed node are suppressed.
+func (r *Runtime) Send(to int, m *wire.Message) {
+	if r.Crashed() {
+		return
+	}
+	r.tr.Send(r.id, to, m)
+}
+
+// Broadcast sends a fresh copy of m to every node, including the sender
+// itself, as in the paper's "broadcast" which the sending node also
+// receives.
+func (r *Runtime) Broadcast(m *wire.Message) {
+	if r.Crashed() {
+		return
+	}
+	for k := 0; k < r.n; k++ {
+		r.tr.Send(r.id, k, m)
+	}
+}
+
+// GossipTo sends m to every node except the sender (Algorithm 1 line 11).
+func (r *Runtime) GossipTo(build func(k int) *wire.Message) {
+	if r.Crashed() {
+		return
+	}
+	for k := 0; k < r.n; k++ {
+		if k == r.id {
+			continue
+		}
+		if m := build(k); m != nil {
+			r.tr.Send(r.id, k, m)
+		}
+	}
+}

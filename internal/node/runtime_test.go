@@ -1,0 +1,300 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/wire"
+)
+
+// echoAlg acknowledges every TWrite with a TWriteAck and counts ticks.
+type echoAlg struct {
+	rt    *Runtime
+	ticks atomic.Int64
+
+	mu       sync.Mutex
+	received []*wire.Message
+}
+
+func (a *echoAlg) HandleMessage(m *wire.Message) {
+	a.mu.Lock()
+	a.received = append(a.received, m)
+	a.mu.Unlock()
+	if m.Type == wire.TWrite {
+		a.rt.Send(int(m.From), &wire.Message{Type: wire.TWriteAck, SSN: m.SSN})
+	}
+}
+
+func (a *echoAlg) Tick() { a.ticks.Add(1) }
+
+func fastOpts() Options {
+	return Options{LoopInterval: time.Millisecond, RetxInterval: 2 * time.Millisecond}
+}
+
+// newEchoCluster builds n echo nodes over a network.
+func newEchoCluster(t *testing.T, n int, adv netsim.Adversary) ([]*echoAlg, []*Runtime, *netsim.Network) {
+	t.Helper()
+	net := netsim.New(netsim.Config{N: n, Seed: 77, Adversary: adv})
+	algs := make([]*echoAlg, n)
+	rts := make([]*Runtime, n)
+	for i := 0; i < n; i++ {
+		algs[i] = &echoAlg{}
+		rts[i] = NewRuntime(i, net, algs[i], fastOpts())
+		algs[i].rt = rts[i]
+		rts[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, rt := range rts {
+			rt.Close()
+		}
+		net.Close()
+	})
+	return algs, rts, net
+}
+
+func TestMajority(t *testing.T) {
+	net := netsim.New(netsim.Config{N: 5, Seed: 1})
+	defer net.Close()
+	rt := NewRuntime(0, net, &echoAlg{}, Options{})
+	if rt.Majority() != 3 {
+		t.Errorf("majority of 5 = %d, want 3", rt.Majority())
+	}
+	if rt.N() != 5 || rt.ID() != 0 {
+		t.Error("identity accessors broken")
+	}
+}
+
+func TestCallReachesQuorum(t *testing.T) {
+	_, rts, _ := newEchoCluster(t, 5, netsim.Adversary{})
+	recs, err := rts[0].Call(CallOpts{
+		Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite, SSN: 7} },
+		Accept: func(m *wire.Message) bool { return m.Type == wire.TWriteAck && m.SSN == 7 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Errorf("collected %d acks, want ≥ 3", len(recs))
+	}
+	seen := map[int32]bool{}
+	for _, m := range recs {
+		if seen[m.From] {
+			t.Error("duplicate sender in Rec set")
+		}
+		seen[m.From] = true
+	}
+}
+
+func TestCallRetransmitsThroughLoss(t *testing.T) {
+	_, rts, _ := newEchoCluster(t, 5, netsim.Adversary{DropProb: 0.5})
+	done := make(chan error, 1)
+	go func() {
+		_, err := rts[0].Call(CallOpts{
+			Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite, SSN: 8} },
+			Accept: func(m *wire.Message) bool { return m.Type == wire.TWriteAck && m.SSN == 8 },
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Call did not survive 50% loss")
+	}
+}
+
+func TestCallStopEarlyExit(t *testing.T) {
+	_, rts, net := newEchoCluster(t, 5, netsim.Adversary{})
+	// Cut every outbound link so no ack can arrive; rely on Stop.
+	for k := 1; k < 5; k++ {
+		net.SetCut(0, k, true)
+	}
+	var polls atomic.Int64
+	recs, err := rts[0].Call(CallOpts{
+		Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite, SSN: 9} },
+		Accept: func(m *wire.Message) bool { return m.Type == wire.TWriteAck },
+		Stop:   func() bool { return polls.Add(1) >= 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the self-delivered ack can arrive; Stop must fire well before a
+	// (never reachable) majority of 3.
+	if len(recs) > 1 {
+		t.Errorf("expected ≤1 acks (self only), got %d", len(recs))
+	}
+}
+
+func TestCallAbortsOnCrash(t *testing.T) {
+	_, rts, net := newEchoCluster(t, 5, netsim.Adversary{})
+	for k := 1; k < 5; k++ {
+		net.SetCut(0, k, true) // prevent completion
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := rts[0].Call(CallOpts{
+			Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite} },
+			Accept: func(m *wire.Message) bool { return m.Type == wire.TWriteAck },
+		})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	rts[0].Crash()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCrashed) {
+			t.Errorf("err = %v, want ErrCrashed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Call not aborted by crash")
+	}
+}
+
+func TestCallFailsWhenAlreadyCrashed(t *testing.T) {
+	_, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	rts[0].Crash()
+	_, err := rts[0].Call(CallOpts{
+		Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite} },
+		Accept: func(m *wire.Message) bool { return true },
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Errorf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestCrashStopsStepsAndResumeRestores(t *testing.T) {
+	algs, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	time.Sleep(10 * time.Millisecond)
+	rts[1].Crash()
+	if !rts[1].Crashed() {
+		t.Fatal("not crashed")
+	}
+	ticksAtCrash := algs[1].ticks.Load()
+	time.Sleep(15 * time.Millisecond)
+	if got := algs[1].ticks.Load(); got != ticksAtCrash {
+		t.Errorf("crashed node ticked %d times", got-ticksAtCrash)
+	}
+	// Messages to a crashed node are lost (consumed without processing).
+	rts[0].Send(1, &wire.Message{Type: wire.TWrite, SSN: 5})
+	time.Sleep(10 * time.Millisecond)
+	algs[1].mu.Lock()
+	for _, m := range algs[1].received {
+		if m.SSN == 5 {
+			t.Error("crashed node processed a message")
+		}
+	}
+	algs[1].mu.Unlock()
+
+	rts[1].Resume()
+	if rts[1].Crashed() {
+		t.Fatal("still crashed after resume")
+	}
+	deadline := time.Now().Add(time.Second)
+	for algs[1].ticks.Load() == ticksAtCrash {
+		if time.Now().After(deadline) {
+			t.Fatal("resumed node does not tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLoopCountAdvances(t *testing.T) {
+	_, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	deadline := time.Now().Add(time.Second)
+	for rts[0].LoopCount() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop count stuck")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGossipToExcludesSelf(t *testing.T) {
+	algs, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	rts[0].GossipTo(func(k int) *wire.Message {
+		return &wire.Message{Type: wire.TGossip, SSN: int64(k)}
+	})
+	time.Sleep(20 * time.Millisecond)
+	algs[0].mu.Lock()
+	for _, m := range algs[0].received {
+		if m.Type == wire.TGossip && m.From == 0 {
+			t.Error("gossip delivered to self")
+		}
+	}
+	algs[0].mu.Unlock()
+	algs[1].mu.Lock()
+	found := false
+	for _, m := range algs[1].received {
+		if m.Type == wire.TGossip && m.SSN == 1 {
+			found = true
+		}
+	}
+	algs[1].mu.Unlock()
+	if !found {
+		t.Error("gossip did not reach peer with per-peer payload")
+	}
+}
+
+func TestBroadcastIncludesSelf(t *testing.T) {
+	algs, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	rts[0].Broadcast(&wire.Message{Type: wire.TSnapshot, SSN: 123})
+	time.Sleep(20 * time.Millisecond)
+	algs[0].mu.Lock()
+	defer algs[0].mu.Unlock()
+	found := false
+	for _, m := range algs[0].received {
+		if m.Type == wire.TSnapshot && m.SSN == 123 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("broadcast must include the sender")
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	_, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
+	var flag atomic.Bool
+	time.AfterFunc(10*time.Millisecond, func() { flag.Store(true) })
+	if err := rts[0].WaitUntil(flag.Load); err != nil {
+		t.Fatal(err)
+	}
+
+	rts[1].Crash()
+	err := rts[1].WaitUntil(func() bool { return false })
+	if !errors.Is(err, ErrCrashed) {
+		t.Errorf("err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestCloseIsIdempotentAndAbortsCalls(t *testing.T) {
+	_, rts, net := newEchoCluster(t, 3, netsim.Adversary{})
+	for k := 1; k < 3; k++ {
+		net.SetCut(0, k, true)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := rts[0].Call(CallOpts{
+			Build:  func() *wire.Message { return &wire.Message{Type: wire.TWrite} },
+			Accept: func(m *wire.Message) bool { return m.Type == wire.TWriteAck },
+		})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	rts[0].Close()
+	rts[0].Close() // idempotent
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrCrashed) {
+			t.Errorf("err = %v, want ErrClosed/ErrCrashed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Call not aborted by Close")
+	}
+}

@@ -1,0 +1,149 @@
+// Package objects builds higher-level shared objects on top of the
+// snapshot API — the pattern the paper's introduction motivates ("there
+// are many examples of algorithms that are built on top of snapshot
+// objects"). Each construction follows the textbook recipe: a node writes
+// only its own register; the object's value is a pure function of an
+// atomic snapshot, so object operations inherit the snapshot's
+// linearizability.
+//
+// Provided constructions:
+//
+//   - Counter: an increment-only distributed counter (value = Σ per-node
+//     contributions);
+//   - MaxRegister: a grow-only maximum (value = max over per-node
+//     proposals);
+//   - Election: single-shot leader election with consistent observation
+//     (candidates propose; the winner is a deterministic function of the
+//     snapshot, so any two observers that see the election as decided
+//     agree on the winner).
+package objects
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"selfstabsnap/internal/types"
+)
+
+// SnapshotObject is the interface the constructions consume — satisfied by
+// every algorithm node in this repository and by core.Cluster adapters.
+type SnapshotObject interface {
+	Write(v types.Value) error
+	Snapshot() (types.RegVector, error)
+}
+
+// Counter is an increment-only counter for one participant. Each node owns
+// its contribution in its register; Value sums an atomic snapshot, so
+// reads are linearizable with respect to increments.
+type Counter struct {
+	obj   SnapshotObject
+	local uint64
+}
+
+// NewCounter wraps node-local snapshot object obj.
+func NewCounter(obj SnapshotObject) *Counter { return &Counter{obj: obj} }
+
+// Add increments this node's contribution by delta.
+func (c *Counter) Add(delta uint64) error {
+	c.local += delta
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], c.local)
+	return c.obj.Write(buf[:])
+}
+
+// Value returns the consistent global total.
+func (c *Counter) Value() (uint64, error) {
+	snap, err := c.obj.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, e := range snap {
+		if v, ok := decodeU64(e.Val); ok {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// MaxRegister is a grow-only maximum over values proposed by any node.
+type MaxRegister struct {
+	obj  SnapshotObject
+	best uint64
+}
+
+// NewMaxRegister wraps node-local snapshot object obj.
+func NewMaxRegister(obj SnapshotObject) *MaxRegister { return &MaxRegister{obj: obj} }
+
+// Propose offers v; the register only ever grows.
+func (m *MaxRegister) Propose(v uint64) error {
+	if v <= m.best {
+		return nil // dominated locally; no write needed
+	}
+	m.best = v
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return m.obj.Write(buf[:])
+}
+
+// Value returns the current global maximum.
+func (m *MaxRegister) Value() (uint64, error) {
+	snap, err := m.obj.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	var best uint64
+	for _, e := range snap {
+		if v, ok := decodeU64(e.Val); ok && v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Election is a single-shot leader election: every candidate announces
+// itself once; observers agree on the winner as soon as any candidate is
+// visible, because the winner is the *smallest candidate id in the
+// snapshot* and snapshots are totally ordered — two observers can disagree
+// only by one having seen no candidate at all yet.
+//
+// Note the deliberately weak (but composable) guarantee: this is
+// observation consistency, not consensus — a later snapshot may reveal a
+// smaller-id candidate and "improve" the winner, exactly like the
+// textbook snapshot-based election. Callers that need stability wait
+// until every potential candidate has either announced or is known
+// crashed.
+type Election struct {
+	obj SnapshotObject
+	id  int
+}
+
+// NewElection wraps node id's snapshot object.
+func NewElection(obj SnapshotObject, id int) *Election { return &Election{obj: obj, id: id} }
+
+// Stand announces this node's candidacy.
+func (e *Election) Stand() error {
+	return e.obj.Write(types.Value(fmt.Sprintf("candidate-%d", e.id)))
+}
+
+// Leader reports the winner: the smallest node id that has announced, or
+// ok=false if nobody has yet.
+func (e *Election) Leader() (leader int, ok bool, err error) {
+	snap, err := e.obj.Snapshot()
+	if err != nil {
+		return 0, false, err
+	}
+	for id, entry := range snap {
+		if entry.TS > 0 {
+			return id, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+func decodeU64(v types.Value) (uint64, bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}

@@ -1,0 +1,201 @@
+package objects
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/types"
+)
+
+func newCluster(t *testing.T, n int, alg core.Algorithm) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		N: n, Algorithm: alg, Delta: 2, Seed: 77,
+		LoopInterval: time.Millisecond,
+		Adversary:    netsim.Adversary{DupProb: 0.05, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// nodeObj adapts one cluster node to the SnapshotObject interface.
+type nodeObj struct {
+	c  *core.Cluster
+	id int
+}
+
+func (o nodeObj) Write(v types.Value) error          { return o.c.Write(o.id, v) }
+func (o nodeObj) Snapshot() (types.RegVector, error) { return o.c.Snapshot(o.id) }
+func obj(c *core.Cluster, id int) SnapshotObject     { return nodeObj{c, id} }
+
+func TestCounterSequential(t *testing.T) {
+	c := newCluster(t, 4, core.NonBlockingSS)
+	counters := make([]*Counter, 4)
+	for i := range counters {
+		counters[i] = NewCounter(obj(c, i))
+	}
+	if err := counters[0].Add(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := counters[1].Add(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := counters[0].Add(3); err != nil { // cumulative per node
+		t.Fatal(err)
+	}
+	got, err := counters[2].Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("counter = %d, want 15", got)
+	}
+}
+
+// TestCounterMonotoneUnderConcurrency: concurrent increments with
+// concurrent reads — totals must never regress and must end exact.
+func TestCounterMonotoneUnderConcurrency(t *testing.T) {
+	c := newCluster(t, 4, core.DeltaSS)
+	counters := make([]*Counter, 4)
+	for i := range counters {
+		counters[i] = NewCounter(obj(c, i))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := counters[i].Add(1); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	var lastSeen uint64
+	var readErr error
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for k := 0; k < 15; k++ {
+			v, err := counters[3].Value()
+			if err != nil {
+				readErr = err
+				return
+			}
+			if v < lastSeen {
+				t.Errorf("counter regressed: %d after %d", v, lastSeen)
+				return
+			}
+			lastSeen = v
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	final, err := counters[3].Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 30 {
+		t.Fatalf("final total = %d, want 30", final)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	c := newCluster(t, 3, core.NonBlockingSS)
+	m0, m1, m2 := NewMaxRegister(obj(c, 0)), NewMaxRegister(obj(c, 1)), NewMaxRegister(obj(c, 2))
+	if err := m0.Propose(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Propose(99); err != nil {
+		t.Fatal(err)
+	}
+	if err := m0.Propose(50); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("max = %d, want 99", got)
+	}
+	// Dominated propose is a no-op (no write, value unchanged).
+	if err := m2.Propose(5); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m1.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("max after dominated propose = %d, want 99", got)
+	}
+}
+
+func TestElectionAgreement(t *testing.T) {
+	c := newCluster(t, 5, core.DeltaSS)
+	elections := make([]*Election, 5)
+	for i := range elections {
+		elections[i] = NewElection(obj(c, i), i)
+	}
+
+	// Before anyone stands: no leader anywhere.
+	if _, ok, err := elections[0].Leader(); err != nil || ok {
+		t.Fatalf("leader before any candidacy: ok=%v err=%v", ok, err)
+	}
+
+	// Nodes 2, 3 and 4 stand concurrently.
+	var wg sync.WaitGroup
+	for _, id := range []int{2, 3, 4} {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := elections[id].Stand(); err != nil {
+				t.Errorf("stand %d: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// Every observer agrees on the winner (node 2 — smallest candidate).
+	for i := 0; i < 5; i++ {
+		leader, ok, err := elections[i].Leader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || leader != 2 {
+			t.Fatalf("observer %d sees leader=%d ok=%v, want 2", i, leader, ok)
+		}
+	}
+}
+
+func TestCounterIgnoresForeignPayloads(t *testing.T) {
+	c := newCluster(t, 3, core.NonBlockingSS)
+	// Node 1 writes a non-counter payload into its register.
+	if err := c.Write(1, types.Value("not-a-number")); err != nil {
+		t.Fatal(err)
+	}
+	cnt := NewCounter(obj(c, 0))
+	if err := cnt.Add(4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cnt.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("counter = %d, want 4 (foreign payloads skipped)", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Package reset implements the consensus-based global reset procedure of
+// the paper's §5 bounded-counter transformation: once a node notices an
+// operation index at least MAXINT, the system disables new operations,
+// gossips maximal indices until every node holds identical registers, and
+// then — through a coordinator-driven two-phase commit in the style of
+// Awerbuch et al.'s global reset — replaces every operation index with its
+// initial value while keeping all register values unchanged.
+//
+// As the paper notes, the procedure may assume execution fairness because
+// reaching MAXINT "can only occur due to a transient fault": fairness is
+// required only seldom. Concretely, the engine's coordinator (the
+// lowest-id node) waits for all n nodes, so the reset completes once every
+// node is alive long enough to participate.
+//
+// The engine is a pure state machine: callers feed it ticks and messages
+// and execute the outputs (messages to send, reset to apply). This keeps
+// it independently unit-testable without a network.
+package reset
+
+import (
+	"sync"
+
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+// Broadcast is the Output.To value meaning "send to every other node".
+const Broadcast = -1
+
+// Output is one message the caller must transmit.
+type Output struct {
+	To  int
+	Msg *wire.Message
+}
+
+// Result is what the caller must do after feeding the engine an event.
+type Result struct {
+	Outputs []Output
+	// Commit instructs the caller to apply the reset now (collapse indices,
+	// keep register values) — the engine has already advanced its epoch.
+	Commit bool
+	// MergeReg, when non-nil, must be folded into the node's registers (it
+	// arrived in a MAXIDX gossip and drives register convergence).
+	MergeReg types.RegVector
+}
+
+func (r *Result) send(to int, m *wire.Message) { r.Outputs = append(r.Outputs, Output{To: to, Msg: m}) }
+
+type phase uint8
+
+const (
+	phaseIdle phase = iota
+	phaseWrap       // gossiping MAXIDX, waiting for convergence / COMMIT
+	phaseDone       // coordinator only: committed, collecting DONE acks
+)
+
+// Engine is one node's reset state machine. Node 0 doubles as coordinator.
+type Engine struct {
+	id int
+	n  int
+
+	mu    sync.Mutex
+	phase phase
+	epoch int64
+
+	// Coordinator bookkeeping.
+	seenVC map[int]types.VectorClock // latest register clock per node
+	acks   map[int]bool              // RESET-ACK collected for current epoch
+	dones  map[int]bool              // RESET-DONE collected after commit
+}
+
+// NewEngine creates an engine for node id of n.
+func NewEngine(id, n int) *Engine {
+	return &Engine{id: id, n: n, seenVC: map[int]types.VectorClock{}, acks: map[int]bool{}, dones: map[int]bool{}}
+}
+
+// Epoch returns the current configuration epoch; data messages are fenced
+// by it.
+func (e *Engine) Epoch() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// Active reports whether a reset is in progress at this node (including
+// the coordinator's post-commit DONE collection).
+func (e *Engine) Active() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.phase != phaseIdle
+}
+
+// Blocking reports whether new operations must be gated: true only before
+// the local commit. Once committed, operations may resume under the new
+// epoch even while the coordinator still collects DONE confirmations.
+func (e *Engine) Blocking() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.phase == phaseWrap
+}
+
+func (e *Engine) coordinator() bool { return e.id == 0 }
+
+// Trigger starts a reset at this node (overflow observed locally). It is a
+// no-op if one is already running.
+func (e *Engine) Trigger() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enterWrapLocked()
+}
+
+func (e *Engine) enterWrapLocked() {
+	if e.phase != phaseIdle {
+		return
+	}
+	e.phase = phaseWrap
+	e.seenVC = map[int]types.VectorClock{}
+	e.acks = map[int]bool{}
+	e.dones = map[int]bool{}
+}
+
+// OnTick drives retransmissions. reg is the node's current register vector
+// (already merged with everything received so far); frozen reports whether
+// the node has drained its in-flight operations.
+func (e *Engine) OnTick(reg types.RegVector, frozen bool) Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var res Result
+	switch e.phase {
+	case phaseIdle:
+	case phaseWrap:
+		res.send(Broadcast, &wire.Message{Type: wire.TMaxIdx, Epoch: e.epoch, Reg: reg.Clone()})
+		if e.coordinator() {
+			e.seenVC[e.id] = reg.VC()
+			if frozen {
+				e.acks[e.id] = true
+			}
+			e.coordinatorDriveLocked(reg, true, &res)
+		}
+	case phaseDone:
+		// Coordinator: keep re-broadcasting COMMIT until everyone confirmed.
+		res.send(Broadcast, &wire.Message{Type: wire.TResetCmt, Epoch: e.epoch - 1})
+	}
+	return res
+}
+
+// coordinatorDriveLocked proposes once all register clocks agree (only on
+// ticks, so acknowledgment processing cannot trigger a propose/ack message
+// storm) and commits once all nodes acknowledged the proposal.
+func (e *Engine) coordinatorDriveLocked(reg types.RegVector, mayPropose bool, res *Result) {
+	myVC := reg.VC()
+	allEqual := len(e.seenVC) == e.n
+	for _, vc := range e.seenVC {
+		if !vc.Equal(myVC) {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual && mayPropose {
+		res.send(Broadcast, &wire.Message{Type: wire.TResetProp, Epoch: e.epoch})
+	}
+	if e.countAcks() == e.n {
+		// Every node is frozen with identical registers: commit.
+		res.send(Broadcast, &wire.Message{Type: wire.TResetCmt, Epoch: e.epoch})
+		res.Commit = true
+		e.epoch++
+		e.phase = phaseDone
+		e.dones = map[int]bool{e.id: true}
+	}
+}
+
+func (e *Engine) countAcks() int {
+	c := 0
+	for _, ok := range e.acks {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// OnMessage processes one reset-protocol message. reg and frozen are as in
+// OnTick. The caller routes every TMaxIdx/TResetProp/TResetAck/TResetCmt/
+// TResetDone message here.
+func (e *Engine) OnMessage(m *wire.Message, reg types.RegVector, frozen bool) Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var res Result
+	from := int(m.From)
+
+	switch m.Type {
+	case wire.TMaxIdx:
+		switch {
+		case m.Epoch == e.epoch:
+			e.enterWrapLocked() // overflow noticed elsewhere: join the reset
+			res.MergeReg = m.Reg
+			if e.coordinator() && e.phase == phaseWrap {
+				e.seenVC[from] = m.Reg.VC()
+			}
+		case m.Epoch < e.epoch:
+			// The sender missed our commit: re-send it.
+			res.send(from, &wire.Message{Type: wire.TResetCmt, Epoch: m.Epoch})
+		case m.Epoch > e.epoch:
+			// We are behind (corrupted epoch or missed an entire reset):
+			// adopt the newer epoch so the cluster reconverges.
+			e.epoch = m.Epoch
+			e.phase = phaseIdle
+		}
+
+	case wire.TResetProp:
+		if m.Epoch == e.epoch {
+			e.enterWrapLocked()
+			if frozen {
+				res.send(from, &wire.Message{Type: wire.TResetAck, Epoch: e.epoch})
+			}
+		} else if m.Epoch < e.epoch {
+			res.send(from, &wire.Message{Type: wire.TResetDone, Epoch: m.Epoch})
+		}
+
+	case wire.TResetAck:
+		if e.coordinator() && e.phase == phaseWrap && m.Epoch == e.epoch {
+			e.acks[from] = true
+			e.coordinatorDriveLocked(reg, false, &res)
+		}
+
+	case wire.TResetCmt:
+		if m.Epoch == e.epoch && e.phase == phaseWrap {
+			res.Commit = true
+			e.epoch++
+			e.phase = phaseIdle
+		}
+		// Confirm in all cases: the coordinator retries until it hears us.
+		if m.Epoch < e.epoch {
+			res.send(from, &wire.Message{Type: wire.TResetDone, Epoch: m.Epoch})
+		}
+
+	case wire.TResetDone:
+		if e.coordinator() && e.phase == phaseDone && m.Epoch == e.epoch-1 {
+			e.dones[from] = true
+			if len(e.dones) == e.n {
+				e.phase = phaseIdle
+			}
+		}
+	}
+	return res
+}
+
+// DebugState is a snapshot of an engine's internals for diagnostics.
+type DebugState struct {
+	Phase  uint8
+	Epoch  int64
+	Acks   int
+	Dones  int
+	SeenVC int
+}
+
+// Debug returns a snapshot of the engine's internals.
+func (e *Engine) Debug() DebugState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return DebugState{Phase: uint8(e.phase), Epoch: e.epoch, Acks: e.countAcks(), Dones: len(e.dones), SeenVC: len(e.seenVC)}
+}
+
+// IsResetType reports whether t belongs to the reset control plane.
+func IsResetType(t wire.Type) bool {
+	switch t {
+	case wire.TMaxIdx, wire.TResetProp, wire.TResetAck, wire.TResetCmt, wire.TResetDone:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+package reset
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+// fabric executes engine outputs against a set of engines synchronously,
+// modelling a perfect network. Each node owns a register vector and a
+// frozen flag, and applies commits/merges the way package bounded does.
+type fabric struct {
+	engines []*Engine
+	regs    []types.RegVector
+	frozen  []bool
+	commits []int
+}
+
+func newFabric(n int) *fabric {
+	f := &fabric{commits: make([]int, n), frozen: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		f.engines = append(f.engines, NewEngine(i, n))
+		f.regs = append(f.regs, types.RegVector{
+			{TS: int64(100 + i), Val: types.Value("v")},
+			{TS: int64(200 + i), Val: types.Value("w")},
+			{TS: 300, Val: types.Value("x")},
+		})
+	}
+	return f
+}
+
+func (f *fabric) apply(id int, res Result) {
+	if res.MergeReg != nil {
+		f.regs[id].MergeFrom(res.MergeReg)
+	}
+	if res.Commit {
+		f.commits[id]++
+		for k := range f.regs[id] {
+			if !f.regs[id][k].IsBottom() {
+				f.regs[id][k].TS = 1
+			}
+		}
+	}
+	for _, o := range res.Outputs {
+		targets := []int{o.To}
+		if o.To == Broadcast {
+			targets = targets[:0]
+			for k := range f.engines {
+				if k != id {
+					targets = append(targets, k)
+				}
+			}
+		}
+		for _, to := range targets {
+			m := o.Msg.Clone()
+			m.From, m.To = int32(id), int32(to)
+			f.apply(to, f.engines[to].OnMessage(m, f.regs[to], f.frozen[to]))
+		}
+	}
+}
+
+func (f *fabric) tick(id int) {
+	f.apply(id, f.engines[id].OnTick(f.regs[id], f.frozen[id]))
+}
+
+func (f *fabric) tickAll() {
+	for i := range f.engines {
+		f.tick(i)
+	}
+}
+
+func TestFullResetRound(t *testing.T) {
+	f := newFabric(4)
+	f.engines[2].Trigger() // overflow noticed at a non-coordinator
+
+	// Round 1: node 2 gossips MAXIDX; everyone joins and merges.
+	f.tickAll()
+	for i, e := range f.engines {
+		if !e.Active() {
+			t.Fatalf("node %d did not join the reset", i)
+		}
+	}
+	// Nodes freeze (the bounded wrapper drains in-flight ops).
+	for i := range f.frozen {
+		f.frozen[i] = true
+	}
+	// A few more gossip rounds converge registers and drive propose/commit.
+	for r := 0; r < 5; r++ {
+		f.tickAll()
+	}
+	for i := range f.engines {
+		if f.commits[i] != 1 {
+			t.Errorf("node %d committed %d times, want 1", i, f.commits[i])
+		}
+		if got := f.engines[i].Epoch(); got != 1 {
+			t.Errorf("node %d epoch = %d, want 1", i, got)
+		}
+		if f.engines[i].Active() && i != 0 {
+			t.Errorf("node %d still active", i)
+		}
+		for k, e := range f.regs[i] {
+			if e.TS != 1 {
+				t.Errorf("node %d reg[%d].TS = %d, want 1", i, k, e.TS)
+			}
+			if len(e.Val) == 0 {
+				t.Errorf("node %d reg[%d] lost its value", i, k)
+			}
+		}
+	}
+	// Registers identical everywhere (converged before commit).
+	for i := 1; i < 4; i++ {
+		if !f.regs[i].Equal(f.regs[0]) {
+			t.Errorf("registers diverged after reset: %v vs %v", f.regs[i], f.regs[0])
+		}
+	}
+	// Coordinator drains its DONE collection.
+	f.tickAll()
+	if f.engines[0].Active() {
+		t.Error("coordinator never finished DONE collection")
+	}
+}
+
+func TestNoCommitWhileUnfrozen(t *testing.T) {
+	f := newFabric(3)
+	f.engines[0].Trigger()
+	f.frozen[1] = true
+	f.frozen[2] = true
+	// Node 0 itself never freezes: commit must not happen.
+	for r := 0; r < 10; r++ {
+		f.tickAll()
+	}
+	for i := range f.commits {
+		if f.commits[i] != 0 {
+			t.Fatalf("committed with an unfrozen node (node %d)", i)
+		}
+	}
+	f.frozen[0] = true
+	for r := 0; r < 5; r++ {
+		f.tickAll()
+	}
+	if f.commits[0] != 1 || f.commits[1] != 1 || f.commits[2] != 1 {
+		t.Errorf("commits after freeze: %v", f.commits)
+	}
+}
+
+func TestNoCommitWhileRegistersDiverge(t *testing.T) {
+	f := newFabric(3)
+	for i := range f.frozen {
+		f.frozen[i] = true
+	}
+	f.engines[0].Trigger()
+	// Sabotage convergence: node 2's register keeps growing each round.
+	for r := 0; r < 6; r++ {
+		f.regs[2][0].TS += 10
+		f.tick(2)
+		f.tick(1)
+		f.tick(0)
+		// Coordinator's view of node 2 is always stale by one bump, but the
+		// merge means reg converges the moment node 2 stops moving.
+	}
+	// Let it settle: no more bumps.
+	for r := 0; r < 5; r++ {
+		f.tickAll()
+	}
+	for i := range f.commits {
+		if f.commits[i] != 1 {
+			t.Errorf("node %d commits = %d, want exactly 1 after settling", i, f.commits[i])
+		}
+	}
+}
+
+func TestStragglerCatchesUpViaCommitRetry(t *testing.T) {
+	f := newFabric(3)
+	for i := range f.frozen {
+		f.frozen[i] = true
+	}
+	f.engines[0].Trigger()
+	// Run a reset where node 2's engine is detached (messages to it are
+	// dropped) by operating on a sub-fabric manually.
+	// Simpler: drive only nodes 0 and 1 — but coordinator needs node 2's
+	// ack, so instead let everything flow and then replay a stale MAXIDX.
+	for r := 0; r < 6; r++ {
+		f.tickAll()
+	}
+	if f.engines[0].Epoch() != 1 {
+		t.Fatal("setup reset did not complete")
+	}
+	// A stale MAXIDX from epoch 0 arrives at node 0: it must answer with a
+	// COMMIT for epoch 0, not re-enter a reset.
+	res := f.engines[0].OnMessage(&wire.Message{Type: wire.TMaxIdx, Epoch: 0, From: 2, Reg: f.regs[2].Clone()}, f.regs[0], true)
+	foundCommit := false
+	for _, o := range res.Outputs {
+		if o.Msg.Type == wire.TResetCmt && o.Msg.Epoch == 0 {
+			foundCommit = true
+		}
+	}
+	if !foundCommit {
+		t.Error("stale MAXIDX not answered with COMMIT replay")
+	}
+	if f.engines[0].Epoch() != 1 {
+		t.Error("stale MAXIDX corrupted the epoch")
+	}
+}
+
+func TestEpochAdoptionOnHigherEpoch(t *testing.T) {
+	e := NewEngine(1, 3)
+	res := e.OnMessage(&wire.Message{Type: wire.TMaxIdx, Epoch: 7, From: 0}, types.RegVector{{}}, false)
+	if res.Commit {
+		t.Error("must not commit on epoch adoption")
+	}
+	if e.Epoch() != 7 {
+		t.Errorf("epoch = %d, want 7 (adopt newer)", e.Epoch())
+	}
+}
+
+func TestDoubleCommitImpossible(t *testing.T) {
+	e := NewEngine(1, 3)
+	e.Trigger()
+	r1 := e.OnMessage(&wire.Message{Type: wire.TResetCmt, Epoch: 0, From: 0}, types.RegVector{{}}, true)
+	r2 := e.OnMessage(&wire.Message{Type: wire.TResetCmt, Epoch: 0, From: 0}, types.RegVector{{}}, true)
+	if !r1.Commit {
+		t.Fatal("first commit ignored")
+	}
+	if r2.Commit {
+		t.Fatal("second commit applied twice")
+	}
+	// The replayed commit is confirmed so the coordinator stops retrying.
+	foundDone := false
+	for _, o := range r2.Outputs {
+		if o.Msg.Type == wire.TResetDone && o.Msg.Epoch == 0 {
+			foundDone = true
+		}
+	}
+	if !foundDone {
+		t.Error("replayed commit not confirmed with DONE")
+	}
+}
+
+func TestProposeNotAckedUntilFrozen(t *testing.T) {
+	e := NewEngine(1, 3)
+	res := e.OnMessage(&wire.Message{Type: wire.TResetProp, Epoch: 0, From: 0}, types.RegVector{{}}, false)
+	for _, o := range res.Outputs {
+		if o.Msg.Type == wire.TResetAck {
+			t.Fatal("acked while unfrozen")
+		}
+	}
+	if !e.Active() {
+		t.Error("PROPOSE must pull the node into the reset")
+	}
+	res = e.OnMessage(&wire.Message{Type: wire.TResetProp, Epoch: 0, From: 0}, types.RegVector{{}}, true)
+	found := false
+	for _, o := range res.Outputs {
+		if o.Msg.Type == wire.TResetAck && o.To == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("frozen node did not ack the proposal")
+	}
+}
+
+func TestIsResetType(t *testing.T) {
+	for _, typ := range []wire.Type{wire.TMaxIdx, wire.TResetProp, wire.TResetAck, wire.TResetCmt, wire.TResetDone} {
+		if !IsResetType(typ) {
+			t.Errorf("%v not recognised", typ)
+		}
+	}
+	if IsResetType(wire.TWrite) || IsResetType(wire.TGossip) {
+		t.Error("data types misclassified")
+	}
+}

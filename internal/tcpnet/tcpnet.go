@@ -1,0 +1,283 @@
+// Package tcpnet is a real-network implementation of the netsim.Transport
+// interface: length-prefixed frames of wire-encoded messages over TCP. It
+// lets the same algorithm code that runs on the in-memory simulator run
+// across actual sockets — one node per process (cmd/tcpnode) or a whole
+// cluster on localhost (examples/tcpcluster).
+//
+// Failure semantics deliberately mirror the paper's channel model: a frame
+// that cannot be written (peer down, connection reset) is silently dropped
+// and counted as a loss; the algorithms' retransmission ("repeat broadcast
+// until") provides the fair-communication recovery, exactly as over the
+// simulated lossy network.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/wire"
+)
+
+// maxFrame bounds accepted frames; bigger ones indicate corruption and
+// close the connection.
+const maxFrame = 16 << 20
+
+// Transport is a single node's TCP endpoint. It implements
+// netsim.Transport for its own node id only (Recv of a foreign id fails),
+// which is all a node.Runtime requires.
+type Transport struct {
+	self  int
+	addrs []string
+
+	listener net.Listener
+	counters metrics.Counters
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	closed bool
+
+	inbox   chan *wire.Message
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a transport for node self of the cluster whose node i
+// listens on addrs[i], and starts listening. Peers are dialed lazily on
+// first send and re-dialed after failures.
+func New(self int, addrs []string) (*Transport, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("tcpnet: self %d out of range of %d addrs", self, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addrs[self], err)
+	}
+	t := &Transport{
+		self:     self,
+		addrs:    append([]string(nil), addrs...),
+		listener: ln,
+		conns:    make(map[int]net.Conn),
+		inbox:    make(chan *wire.Message, 4096),
+		closeCh:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address this node actually listens on (useful with
+// ":0" configs).
+func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// N returns the cluster size.
+func (t *Transport) N() int { return len(t.addrs) }
+
+// Counters exposes the traffic meters.
+func (t *Transport) Counters() *metrics.Counters { return &t.counters }
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			return // corrupted stream; drop the connection
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := wire.Unmarshal(buf)
+		if err != nil {
+			continue // corrupted frame; self-stabilization demands we drop, not crash
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.closeCh:
+			return
+		default:
+			// Bounded channel capacity: overload loses messages, as in the
+			// paper's model.
+			t.counters.RecordDrop()
+		}
+	}
+}
+
+// Send implements netsim.Transport. from must be this node's id.
+func (t *Transport) Send(from, to int, m *wire.Message) {
+	if from != t.self || to < 0 || to >= len(t.addrs) {
+		return
+	}
+	c := m.Clone()
+	c.From, c.To = int32(from), int32(to)
+	if to == t.self {
+		// Loopback delivery without a socket.
+		t.counters.RecordSend(c.Type, c.Size())
+		select {
+		case t.inbox <- c:
+		default:
+			t.counters.RecordDrop()
+		}
+		return
+	}
+	payload := wire.Marshal(c)
+	frame := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+
+	conn, err := t.conn(to)
+	if err != nil {
+		t.counters.RecordDrop()
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(frame); err != nil {
+		t.dropConn(to, conn)
+		t.counters.RecordDrop()
+		return
+	}
+	t.counters.RecordSend(c.Type, len(payload))
+}
+
+func (t *Transport) conn(to int) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("tcpnet: closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
+	if err != nil {
+		return nil, err
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *Transport) dropConn(to int, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// Recv implements netsim.Transport for this node's own id.
+func (t *Transport) Recv(id int) (*wire.Message, bool) {
+	if id != t.self {
+		return nil, false
+	}
+	select {
+	case m, ok := <-t.inbox:
+		return m, ok
+	case <-t.closeCh:
+		// Drain whatever is buffered before reporting closed.
+		select {
+		case m, ok := <-t.inbox:
+			return m, ok
+		default:
+			return nil, false
+		}
+	}
+}
+
+// CloseEndpoint implements netsim.Transport; closing a node's endpoint is
+// closing the whole single-node transport.
+func (t *Transport) CloseEndpoint(id int) {
+	if id == t.self {
+		t.signalClose()
+	}
+}
+
+func (t *Transport) signalClose() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.closeCh)
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = map[int]net.Conn{}
+	t.mu.Unlock()
+	t.listener.Close()
+}
+
+// Close shuts the transport down and waits for its goroutines.
+func (t *Transport) Close() {
+	t.signalClose()
+	t.wg.Wait()
+}
+
+// Mesh is a convenience for in-process multi-node clusters over localhost:
+// one Transport per node, all wired to each other.
+type Mesh struct {
+	Transports []*Transport
+}
+
+// NewMesh creates n transports listening on ephemeral localhost ports.
+func NewMesh(n int) (*Mesh, error) {
+	// First pass: bind listeners on :0 to learn the ports.
+	addrs := make([]string, n)
+	tmp := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range tmp[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		tmp[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, l := range tmp {
+		l.Close()
+	}
+	m := &Mesh{}
+	for i := 0; i < n; i++ {
+		t, err := New(i, addrs)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Transports = append(m.Transports, t)
+	}
+	return m, nil
+}
+
+// Close shuts every transport down.
+func (m *Mesh) Close() {
+	for _, t := range m.Transports {
+		if t != nil {
+			t.Close()
+		}
+	}
+}

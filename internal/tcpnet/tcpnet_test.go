@@ -1,0 +1,144 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+func TestMeshRoundTrip(t *testing.T) {
+	m, err := NewMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	msg := &wire.Message{Type: wire.TWrite, Reg: types.RegVector{{TS: 7, Val: types.Value("hello")}}}
+	m.Transports[0].Send(0, 1, msg)
+
+	got, ok := recvWithTimeout(t, m.Transports[1], 1)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if got.Type != wire.TWrite || got.From != 0 || got.To != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Reg[0].TS != 7 || string(got.Reg[0].Val) != "hello" {
+		t.Fatalf("payload corrupted: %v", got.Reg)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Transports[0].Send(0, 0, &wire.Message{Type: wire.TGossip, SNS: 5})
+	got, ok := recvWithTimeout(t, m.Transports[0], 0)
+	if !ok || got.SNS != 5 {
+		t.Fatalf("loopback failed: %+v ok=%v", got, ok)
+	}
+}
+
+func TestSendToDeadPeerCountsAsLoss(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Transports[1].Close()
+	time.Sleep(10 * time.Millisecond)
+	// Repeated sends: the first may land in a dying socket; eventually the
+	// transport registers losses rather than blocking or crashing.
+	for i := 0; i < 10; i++ {
+		m.Transports[0].Send(0, 1, &wire.Message{Type: wire.TWrite})
+		time.Sleep(time.Millisecond)
+	}
+	if m.Transports[0].Counters().Drops() == 0 {
+		t.Error("sends to a dead peer not registered as drops")
+	}
+}
+
+func TestForeignEndpointRejected(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, ok := m.Transports[0].Recv(1); ok {
+		t.Error("Recv for foreign id must fail")
+	}
+	// Send with a forged from-id is refused.
+	m.Transports[0].Send(1, 0, &wire.Message{Type: wire.TWrite})
+	if n := m.Transports[0].Counters().TotalMessages(); n != 0 {
+		t.Errorf("forged send metered: %d", n)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := m.Transports[0].Recv(0)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Recv returned a message after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not unblocked by Close")
+	}
+}
+
+func TestManyMessagesOrderedPerLink(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const total = 500
+	for i := 0; i < total; i++ {
+		m.Transports[0].Send(0, 1, &wire.Message{Type: wire.TGossip, SNS: int64(i)})
+	}
+	var prev int64 = -1
+	for i := 0; i < total; i++ {
+		got, ok := recvWithTimeout(t, m.Transports[1], 1)
+		if !ok {
+			t.Fatalf("lost message %d/%d on loss-free localhost", i, total)
+		}
+		if got.SNS <= prev {
+			t.Fatalf("TCP reordered within one connection: %d after %d", got.SNS, prev)
+		}
+		prev = got.SNS
+	}
+}
+
+func recvWithTimeout(t *testing.T, tr *Transport, id int) (*wire.Message, bool) {
+	t.Helper()
+	type res struct {
+		m  *wire.Message
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, ok := tr.Recv(id)
+		ch <- res{m, ok}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv timeout")
+		return nil, false
+	}
+}

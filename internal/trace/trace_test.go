@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+func TestRecordAndRender(t *testing.T) {
+	r := NewRecorder()
+	r.Mark(0, "invokes write(v1)")
+	base := time.Now().Add(time.Millisecond)
+	m := &wire.Message{Type: wire.TWrite}
+	for k := 0; k < 3; k++ {
+		r.OnSend(0, k, m, base.Add(time.Duration(k)*time.Microsecond))
+	}
+	r.OnDeliver(0, 1, m, base.Add(300*time.Microsecond))
+	out := r.Render(3)
+	if !strings.Contains(out, "invokes write(v1)") {
+		t.Errorf("mark missing:\n%s", out)
+	}
+	if !strings.Contains(out, "WRITE → all") {
+		t.Errorf("broadcast not coalesced:\n%s", out)
+	}
+	if !strings.Contains(out, "WRITE ← p0") {
+		t.Errorf("delivery missing:\n%s", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder()
+	r.SetFilter(wire.TWrite)
+	now := time.Now()
+	r.OnSend(0, 1, &wire.Message{Type: wire.TGossip}, now)
+	r.OnSend(0, 1, &wire.Message{Type: wire.TWrite}, now)
+	if got := len(r.Events()); got != 1 {
+		t.Fatalf("filter kept %d events, want 1", got)
+	}
+	if r.Events()[0].MsgType != wire.TWrite {
+		t.Error("wrong event kept")
+	}
+	r.SetFilter() // reset
+	r.OnSend(0, 1, &wire.Message{Type: wire.TGossip}, now)
+	if got := len(r.Events()); got != 2 {
+		t.Fatalf("filter reset broken: %d", got)
+	}
+	// Marks always pass the filter.
+	r.SetFilter(wire.TWrite)
+	r.Mark(1, "note")
+	found := false
+	for _, e := range r.Events() {
+		if e.Kind == EvMark {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mark filtered out")
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	r := NewRecorder()
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TSnapshot}, now)
+	}
+	r.OnSend(0, 1, &wire.Message{Type: wire.TWrite}, now)
+	r.OnDeliver(0, 1, &wire.Message{Type: wire.TSnapshot}, now) // deliveries not counted
+	c := r.CountByType()
+	if c[wire.TSnapshot] != 5 || c[wire.TWrite] != 1 {
+		t.Errorf("counts: %v", c)
+	}
+}
+
+func TestEventsSortedAndReset(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	r.OnSend(0, 1, &wire.Message{Type: wire.TWrite}, base.Add(time.Millisecond))
+	r.OnSend(1, 0, &wire.Message{Type: wire.TWriteAck}, base)
+	ev := r.Events()
+	if ev[0].MsgType != wire.TWriteAck {
+		t.Error("events not time-sorted")
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset did not clear")
+	}
+	if !strings.Contains(r.Render(2), "empty") {
+		t.Error("empty render should say so")
+	}
+}

@@ -1,0 +1,221 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate lets testing/quick build random TSValues.
+func (TSValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randTSValue(r))
+}
+
+func randTSValue(r *rand.Rand) TSValue {
+	if r.Intn(8) == 0 {
+		return TSValue{}
+	}
+	v := make(Value, r.Intn(6))
+	for i := range v {
+		v[i] = byte(r.Intn(4)) // small alphabet to force ts ties
+	}
+	return TSValue{TS: int64(r.Intn(5)), Val: v}
+}
+
+func randRegVector(r *rand.Rand, n int) RegVector {
+	rv := make(RegVector, n)
+	for i := range rv {
+		rv[i] = randTSValue(r)
+	}
+	return rv
+}
+
+func TestTSValueBottom(t *testing.T) {
+	if !Bottom.IsBottom() {
+		t.Fatal("Bottom is not bottom")
+	}
+	w := TSValue{TS: 1, Val: Value("x")}
+	if !Bottom.Less(w) {
+		t.Error("⊥ must be smaller than any written value")
+	}
+	if w.Less(Bottom) {
+		t.Error("written value must not be smaller than ⊥")
+	}
+	if !Bottom.LessEq(Bottom) {
+		t.Error("⊥ ⪯ ⊥ must hold")
+	}
+}
+
+func TestTSValueOrderByTimestamp(t *testing.T) {
+	a := TSValue{TS: 1, Val: Value("zzz")}
+	b := TSValue{TS: 2, Val: Value("aaa")}
+	if !a.Less(b) {
+		t.Error("order must compare timestamps first")
+	}
+	if !a.Max(b).Equal(b) || !b.Max(a).Equal(b) {
+		t.Error("Max must pick the higher timestamp regardless of order")
+	}
+}
+
+// TestTSValueTotalOrder: Less is a strict total order (property-based).
+func TestTSValueTotalOrder(t *testing.T) {
+	trichotomy := func(a, b TSValue) bool {
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a.TS == b.TS && string(a.Val) == string(b.Val) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(trichotomy, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(a, b, c TSValue) bool {
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeLatticeProperties: merge is a join — idempotent, commutative,
+// associative, and monotone (the algebraic backbone of every algorithm's
+// convergence argument).
+func TestMergeLatticeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n = 4
+	gen := func() RegVector { return randRegVector(r, n) }
+
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(), gen(), gen()
+
+		if m := a.Merged(a); !m.Equal(a) {
+			t.Fatalf("idempotence: %v ⊔ %v = %v", a, a, m)
+		}
+		ab, ba := a.Merged(b), b.Merged(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("commutativity: %v vs %v", ab, ba)
+		}
+		if l, r2 := a.Merged(b).Merged(c), a.Merged(b.Merged(c)); !l.Equal(r2) {
+			t.Fatalf("associativity: %v vs %v", l, r2)
+		}
+		if !a.LessEq(ab) || !b.LessEq(ab) {
+			t.Fatalf("upper bound: %v ⊔ %v = %v not above both", a, b, ab)
+		}
+	}
+}
+
+// TestMergeIsLeastUpperBound: the merge result is ⪯ any common upper bound.
+func TestMergeIsLeastUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randRegVector(r, 3), randRegVector(r, 3)
+		ub := a.Merged(b).Merged(randRegVector(r, 3)) // some upper bound of a,b
+		if !a.Merged(b).LessEq(ub) {
+			t.Fatalf("merge not least: a⊔b=%v, ub=%v", a.Merged(b), ub)
+		}
+	}
+}
+
+func TestRegVectorLessEq(t *testing.T) {
+	a := RegVector{{TS: 1}, {TS: 2}}
+	b := RegVector{{TS: 1}, {TS: 3}}
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Error("entrywise order broken")
+	}
+	if !a.Less(b) || a.Less(a) {
+		t.Error("strict order broken")
+	}
+	short := RegVector{{TS: 9}}
+	if a.LessEq(short) || short.LessEq(a) {
+		t.Error("vectors of different length must be incomparable")
+	}
+}
+
+func TestRegVectorCloneIndependence(t *testing.T) {
+	a := RegVector{{TS: 1, Val: Value("abc")}}
+	c := a.Clone()
+	c[0].Val[0] = 'X'
+	c[0].TS = 99
+	if string(a[0].Val) != "abc" || a[0].TS != 1 {
+		t.Error("Clone must deep-copy")
+	}
+	if (RegVector)(nil).Clone() != nil {
+		t.Error("nil Clone must stay nil")
+	}
+}
+
+func TestMergeFromMismatchedLength(t *testing.T) {
+	a := RegVector{{TS: 1}, {TS: 1}}
+	a.MergeFrom(RegVector{{TS: 5}}) // corrupted short vector
+	if a[0].TS != 5 || a[1].TS != 1 {
+		t.Errorf("common-prefix merge broken: %v", a)
+	}
+}
+
+func TestVC(t *testing.T) {
+	r := RegVector{{TS: 3}, {}, {TS: 7}}
+	vc := r.VC()
+	want := VectorClock{3, 0, 7}
+	if !vc.Equal(want) {
+		t.Errorf("VC = %v, want %v", vc, want)
+	}
+	if r.MaxTS() != 7 {
+		t.Errorf("MaxTS = %d, want 7", r.MaxTS())
+	}
+}
+
+func TestVectorClockDiffSum(t *testing.T) {
+	a := VectorClock{1, 2, 3}
+	b := VectorClock{2, 2, 6}
+	if d := a.DiffSum(b); d != 4 {
+		t.Errorf("DiffSum = %d, want 4", d)
+	}
+	// Negative entries (corruption) are clamped, not subtracted.
+	c := VectorClock{9, 2, 3}
+	if d := c.DiffSum(b); d != 3 {
+		t.Errorf("clamped DiffSum = %d, want 3", d)
+	}
+	if d := (VectorClock)(nil).DiffSum(b); d != 0 {
+		t.Errorf("nil DiffSum = %d, want 0", d)
+	}
+}
+
+func TestVectorClockLessEq(t *testing.T) {
+	cases := []struct {
+		a, b VectorClock
+		want bool
+	}{
+		{VectorClock{1, 2}, VectorClock{1, 2}, true},
+		{VectorClock{1, 2}, VectorClock{2, 2}, true},
+		{VectorClock{3, 2}, VectorClock{2, 9}, false},
+		{VectorClock{1}, VectorClock{1, 2}, false}, // length mismatch
+	}
+	for _, c := range cases {
+		if got := c.a.LessEq(c.b); got != c.want {
+			t.Errorf("%v ⪯ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Bottom.String() != "⊥" {
+		t.Errorf("Bottom.String() = %q", Bottom.String())
+	}
+	v := TSValue{TS: 2, Val: Value("hi")}
+	if v.String() != `("hi",2)` {
+		t.Errorf("String() = %q", v.String())
+	}
+	if (VectorClock)(nil).String() != "⊥" {
+		t.Errorf("nil VC should render ⊥")
+	}
+}

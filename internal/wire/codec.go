@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"selfstabsnap/internal/types"
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrTooLarge  = errors.New("wire: collection too large")
+	ErrBadType   = errors.New("wire: unknown message type")
+)
+
+// maxElems bounds every length-prefixed collection. Bounded decoding is part
+// of the self-stabilization story: a corrupted length prefix must not make a
+// node allocate unbounded memory.
+const maxElems = 1 << 16
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+func (e *encoder) tsValue(v types.TSValue) {
+	e.i64(v.TS)
+	e.bytes(v.Val)
+}
+
+func (e *encoder) regVector(r types.RegVector) {
+	e.u16(uint16(len(r)))
+	for _, entry := range r {
+		e.tsValue(entry)
+	}
+}
+
+func (e *encoder) vectorClock(v types.VectorClock) {
+	if v == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.u16(uint16(len(v)))
+	for _, x := range v {
+		e.i64(x)
+	}
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.b) || n < 0 {
+		d.fail()
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *decoder) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *decoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) bytesVal() []byte {
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	if n > len(d.b)-d.off {
+		d.fail()
+		return nil
+	}
+	s := d.take(n)
+	if s == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s)
+	return out
+}
+
+func (d *decoder) tsValue() types.TSValue {
+	return types.TSValue{TS: d.i64(), Val: d.bytesVal()}
+}
+
+func (d *decoder) regVector() types.RegVector {
+	n := int(d.u16())
+	if n == 0 {
+		return nil
+	}
+	if n > maxElems {
+		d.err = ErrTooLarge
+		return nil
+	}
+	r := make(types.RegVector, n)
+	for i := range r {
+		r[i] = d.tsValue()
+	}
+	return r
+}
+
+func (d *decoder) vectorClock() types.VectorClock {
+	if d.u8() == 0 {
+		return nil
+	}
+	n := int(d.u16())
+	if n > maxElems {
+		d.err = ErrTooLarge
+		return nil
+	}
+	v := make(types.VectorClock, n)
+	for i := range v {
+		v[i] = d.i64()
+	}
+	return v
+}
+
+// Marshal encodes m into a fresh byte slice.
+func Marshal(m *Message) []byte {
+	var e encoder
+	marshalInto(&e, m)
+	return e.b
+}
+
+func marshalInto(e *encoder, m *Message) {
+	e.u8(uint8(m.Type))
+	e.i32(m.From)
+	e.i32(m.To)
+	e.u64(m.Seq)
+	e.i64(m.SSN)
+	e.i64(m.TS)
+	e.i64(m.SNS)
+	e.i32(m.Src)
+	e.i64(m.TaskSN)
+	e.regVector(m.Reg)
+	e.tsValue(m.Entry)
+
+	e.u16(uint16(len(m.Tasks)))
+	for _, t := range m.Tasks {
+		e.i32(t.Node)
+		e.i64(t.SNS)
+		e.vectorClock(t.VC)
+	}
+
+	e.u16(uint16(len(m.Saves)))
+	for _, s := range m.Saves {
+		e.i32(s.Node)
+		e.i64(s.SNS)
+		e.regVector(s.Result)
+	}
+
+	if m.Inner != nil {
+		e.u8(1)
+		marshalInto(e, m.Inner)
+	} else {
+		e.u8(0)
+	}
+
+	e.u64(m.Tag)
+	e.i64(m.Epoch)
+	e.u16(uint16(len(m.Maxima)))
+	for _, x := range m.Maxima {
+		e.i64(x)
+	}
+	e.i64(m.MaxSNS)
+}
+
+// Unmarshal decodes a message previously produced by Marshal. It returns an
+// error on truncation, oversized collections, or an unknown message type —
+// corrupted frames are rejected rather than propagated.
+func Unmarshal(b []byte) (*Message, error) {
+	d := decoder{b: b}
+	m := unmarshalFrom(&d, 0)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}
+
+func unmarshalFrom(d *decoder, depth int) *Message {
+	if depth > 2 {
+		d.err = errors.New("wire: nesting too deep")
+		return nil
+	}
+	var m Message
+	m.Type = Type(d.u8())
+	if d.err == nil && !m.Type.Valid() {
+		d.err = ErrBadType
+		return nil
+	}
+	m.From = d.i32()
+	m.To = d.i32()
+	m.Seq = d.u64()
+	m.SSN = d.i64()
+	m.TS = d.i64()
+	m.SNS = d.i64()
+	m.Src = d.i32()
+	m.TaskSN = d.i64()
+	m.Reg = d.regVector()
+	m.Entry = d.tsValue()
+
+	nt := int(d.u16())
+	if nt > maxElems {
+		d.err = ErrTooLarge
+		return nil
+	}
+	if nt > 0 {
+		m.Tasks = make([]TaskInfo, nt)
+		for i := range m.Tasks {
+			m.Tasks[i] = TaskInfo{Node: d.i32(), SNS: d.i64(), VC: d.vectorClock()}
+		}
+	}
+
+	ns := int(d.u16())
+	if ns > maxElems {
+		d.err = ErrTooLarge
+		return nil
+	}
+	if ns > 0 {
+		m.Saves = make([]SaveEntry, ns)
+		for i := range m.Saves {
+			m.Saves[i] = SaveEntry{Node: d.i32(), SNS: d.i64(), Result: d.regVector()}
+		}
+	}
+
+	if d.u8() == 1 {
+		m.Inner = unmarshalFrom(d, depth+1)
+	}
+
+	m.Tag = d.u64()
+	m.Epoch = d.i64()
+	nm := int(d.u16())
+	if nm > maxElems {
+		d.err = ErrTooLarge
+		return nil
+	}
+	if nm > 0 {
+		m.Maxima = make([]int64, nm)
+		for i := range m.Maxima {
+			m.Maxima[i] = d.i64()
+		}
+	}
+	m.MaxSNS = d.i64()
+
+	if d.err != nil {
+		return nil
+	}
+	return &m
+}
+
+// sanity check that int64 casts through uint64 round-trip on this platform.
+var _ = [1]struct{}{}[uint64(math.MaxUint64)>>63-1]

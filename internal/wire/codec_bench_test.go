@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/types"
+)
+
+func benchMessage(n, nu int) *Message {
+	reg := make(types.RegVector, n)
+	for i := range reg {
+		v := make(types.Value, nu)
+		reg[i] = types.TSValue{TS: int64(i + 1), Val: v}
+	}
+	return &Message{Type: TSnapshot, SSN: 42, Reg: reg}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := benchMessage(16, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf := Marshal(benchMessage(16, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	m := benchMessage(16, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Clone()
+	}
+}
+
+func BenchmarkSize(b *testing.B) {
+	m := benchMessage(16, 64)
+	for i := 0; i < b.N; i++ {
+		m.Size()
+	}
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"selfstabsnap/internal/types"
+)
+
+// TaskInfo is one element of the task sets Algorithm 3 disseminates: the
+// tuple (k, sns, vc) describing node p_k's pending snapshot task with index
+// sns and (possibly ⊥) sampled vector clock vc.
+type TaskInfo struct {
+	Node int32
+	SNS  int64
+	VC   types.VectorClock // nil represents ⊥
+}
+
+// Clone returns a deep copy of t.
+func (t TaskInfo) Clone() TaskInfo {
+	return TaskInfo{Node: t.Node, SNS: t.SNS, VC: t.VC.Clone()}
+}
+
+// SaveEntry is one element of the result sets A carried by SAVE messages
+// and of Algorithm 2's END payloads: node k's snapshot task s resolved to
+// Result. In SAVEack messages only (Node, SNS) pairs are echoed and Result
+// is nil.
+type SaveEntry struct {
+	Node   int32
+	SNS    int64
+	Result types.RegVector // nil in acknowledgment sets
+}
+
+// Clone returns a deep copy of s.
+func (s SaveEntry) Clone() SaveEntry {
+	return SaveEntry{Node: s.Node, SNS: s.SNS, Result: s.Result.Clone()}
+}
+
+// Message carries the union of every field used by any protocol in the
+// repository. Unused fields are left at their zero values; the codec encodes
+// all fields, so Size() is a small constant above the information-theoretic
+// payload — irrelevant to the asymptotic claims being measured.
+type Message struct {
+	Type Type
+
+	// From/To are node ids stamped by the transport layer. Seq is a
+	// transport-level sequence number used for tracing and duplicate
+	// diagnostics; protocols must not rely on it.
+	From, To int32
+	Seq      uint64
+
+	// Protocol indices.
+	SSN int64 // snapshot query index (Algorithms 1–3)
+	TS  int64 // gossiped write index where applicable
+	SNS int64 // snapshot operation index (Algorithms 2–3)
+
+	// Snapshot-task identification for Algorithm 2: (Src, TaskSN) is the
+	// task (s, t) being served.
+	Src    int32
+	TaskSN int64
+
+	// Register payloads.
+	Reg   types.RegVector // full register vector (O(n·ν) bits)
+	Entry types.TSValue   // single register entry (O(ν) bits): GOSSIP, UPDATE
+
+	// Algorithm 3 sets.
+	Tasks []TaskInfo  // S∩Δ in SNAPSHOT messages; pndTsk[k] in GOSSIP
+	Saves []SaveEntry // A in SAVE / result sets; (k,s) echoes in SAVEack
+
+	// Reliable-broadcast envelope (TRBCast wraps a TSnap or TEnd message).
+	Inner *Message
+
+	// Generic call tag used by the stacked baseline's collectors and by the
+	// reliable-broadcast layer to match acks to transmissions.
+	Tag uint64
+
+	// Bounded-counter variation control plane.
+	Epoch  int64
+	Maxima []int64 // per-node maximal write indices observed
+	MaxSNS int64   // maximal snapshot-operation index observed
+}
+
+// Clone returns a deep copy of m. In-memory transports deliver clones so a
+// receiver can never alias the sender's live state.
+func (m *Message) Clone() *Message {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.Reg = m.Reg.Clone()
+	c.Entry = m.Entry.Clone()
+	if m.Tasks != nil {
+		c.Tasks = make([]TaskInfo, len(m.Tasks))
+		for i, t := range m.Tasks {
+			c.Tasks[i] = t.Clone()
+		}
+	}
+	if m.Saves != nil {
+		c.Saves = make([]SaveEntry, len(m.Saves))
+		for i, s := range m.Saves {
+			c.Saves[i] = s.Clone()
+		}
+	}
+	c.Inner = m.Inner.Clone()
+	if m.Maxima != nil {
+		c.Maxima = make([]int64, len(m.Maxima))
+		copy(c.Maxima, m.Maxima)
+	}
+	return &c
+}
+
+// Size returns the encoded size of m in bytes. The network layers meter
+// traffic with this, so the paper's bit-complexity claims can be checked
+// directly against measured byte counts.
+func (m *Message) Size() int { return len(Marshal(m)) }

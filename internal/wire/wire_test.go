@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"selfstabsnap/internal/types"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: TWrite, Reg: types.RegVector{{TS: 1, Val: types.Value("a")}, {}}},
+		{Type: TWriteAck, Reg: types.RegVector{{TS: 2, Val: types.Value("bb")}}},
+		{Type: TSnapshot, SSN: 42, Reg: types.RegVector{{}, {TS: 3}}},
+		{Type: TSnapshotAck, SSN: 42, Src: 2, TaskSN: 7},
+		{Type: TGossip, Entry: types.TSValue{TS: 9, Val: types.Value("g")}, SNS: 3,
+			Tasks: []TaskInfo{{Node: 1, SNS: 5, VC: types.VectorClock{1, 2, 3}}},
+			Saves: []SaveEntry{{Node: 1, SNS: 5, Result: types.RegVector{{TS: 1}}}}},
+		{Type: TSnap, Src: 4, TaskSN: 17},
+		{Type: TEnd, Src: 0, TaskSN: 1, Saves: []SaveEntry{{Node: 0, SNS: 1, Result: types.RegVector{{}, {TS: 8, Val: types.Value("zz")}}}}},
+		{Type: TSave, Saves: []SaveEntry{{Node: 2, SNS: 9, Result: types.RegVector{{TS: 4}}}, {Node: 3, SNS: 1}}},
+		{Type: TSaveAck, Saves: []SaveEntry{{Node: 2, SNS: 9}}},
+		{Type: TRBCast, Src: 1, Tag: 88, Inner: &Message{Type: TSnap, Src: 1, TaskSN: 2}},
+		{Type: TRBAck, Src: 1, Tag: 88},
+		{Type: TCollect, Tag: 5},
+		{Type: TCollectAck, Tag: 5, Reg: types.RegVector{{TS: 1, Val: types.Value("v")}}},
+		{Type: TUpdate, Entry: types.TSValue{TS: 3, Val: types.Value("u")}, Tag: 6, Src: 2},
+		{Type: TUpdateAck, Tag: 6},
+		{Type: TWriteBack, Reg: types.RegVector{{TS: 2}}, Tag: 7},
+		{Type: TWriteBackAck, Tag: 7},
+		{Type: TMaxIdx, Epoch: 3, Reg: types.RegVector{{TS: 64}}, Maxima: []int64{64, 63}, MaxSNS: 12},
+		{Type: TResetProp, Epoch: 3},
+		{Type: TResetAck, Epoch: 3},
+		{Type: TResetCmt, Epoch: 3},
+		{Type: TResetDone, Epoch: 3},
+		{Type: TRegQuery, Src: 2, Tag: 9},
+		{Type: TRegQueryAck, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 9},
+		{Type: TRegWriteBack, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 10},
+		{Type: TRegWriteBackAck, Tag: 10},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		m.From, m.To, m.Seq = 1, 2, 99
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Type, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\n  in  %+v\n  out %+v", m.Type, m, got)
+		}
+	}
+}
+
+func messagesEqual(a, b *Message) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Type != b.Type || a.From != b.From || a.To != b.To || a.Seq != b.Seq ||
+		a.SSN != b.SSN || a.TS != b.TS || a.SNS != b.SNS || a.Src != b.Src ||
+		a.TaskSN != b.TaskSN || a.Tag != b.Tag || a.Epoch != b.Epoch || a.MaxSNS != b.MaxSNS {
+		return false
+	}
+	if !a.Reg.Equal(b.Reg) && !(len(a.Reg) == 0 && len(b.Reg) == 0) {
+		return false
+	}
+	if !a.Entry.Equal(b.Entry) {
+		return false
+	}
+	if len(a.Tasks) != len(b.Tasks) || len(a.Saves) != len(b.Saves) || len(a.Maxima) != len(b.Maxima) {
+		return false
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Node != b.Tasks[i].Node || a.Tasks[i].SNS != b.Tasks[i].SNS ||
+			!a.Tasks[i].VC.Equal(b.Tasks[i].VC) && !(a.Tasks[i].VC == nil && b.Tasks[i].VC == nil) {
+			return false
+		}
+	}
+	for i := range a.Saves {
+		if a.Saves[i].Node != b.Saves[i].Node || a.Saves[i].SNS != b.Saves[i].SNS {
+			return false
+		}
+		ra, rb := a.Saves[i].Result, b.Saves[i].Result
+		if !ra.Equal(rb) && !(len(ra) == 0 && len(rb) == 0) {
+			return false
+		}
+	}
+	for i := range a.Maxima {
+		if a.Maxima[i] != b.Maxima[i] {
+			return false
+		}
+	}
+	return messagesEqual(a.Inner, b.Inner)
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	b := Marshal(&Message{Type: TGossip, Entry: types.TSValue{TS: 1, Val: types.Value("xyz")}})
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(b))
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingGarbage(t *testing.T) {
+	b := Marshal(&Message{Type: TWrite})
+	if _, err := Unmarshal(append(b, 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestUnmarshalRejectsBadType(t *testing.T) {
+	b := Marshal(&Message{Type: TWrite})
+	b[0] = 0 // TInvalid
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+	b[0] = 200 // out of range
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+// TestUnmarshalNeverPanics feeds random corruptions of valid frames —
+// corrupted packets must produce errors, never panics or huge allocations.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	msgs := sampleMessages()
+	for i := 0; i < 5000; i++ {
+		b := Marshal(msgs[rng.Intn(len(msgs))])
+		// Flip up to 4 random bytes.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		m, err := Unmarshal(b)
+		if err == nil && m == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+	// Pure random garbage.
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(128))
+		rng.Read(b)
+		_, _ = Unmarshal(b)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := &Message{
+		Type: TSnapshot,
+		Reg:  types.RegVector{{TS: 1, Val: types.Value("abc")}},
+		Tasks: []TaskInfo{
+			{Node: 1, SNS: 2, VC: types.VectorClock{1, 2}},
+		},
+		Saves:  []SaveEntry{{Node: 0, SNS: 1, Result: types.RegVector{{TS: 5}}}},
+		Inner:  &Message{Type: TSnap},
+		Maxima: []int64{4, 5},
+	}
+	c := m.Clone()
+	c.Reg[0].Val[0] = 'Z'
+	c.Tasks[0].VC[0] = 99
+	c.Saves[0].Result[0].TS = 99
+	c.Inner.Type = TEnd
+	c.Maxima[0] = 99
+	if string(m.Reg[0].Val) != "abc" || m.Tasks[0].VC[0] != 1 ||
+		m.Saves[0].Result[0].TS != 5 || m.Inner.Type != TSnap || m.Maxima[0] != 4 {
+		t.Error("Clone must deep-copy every field")
+	}
+	if (*Message)(nil).Clone() != nil {
+		t.Error("nil Clone must stay nil")
+	}
+}
+
+// TestSizeScalesWithPayload pins the size model behind the paper's bit
+// complexities: GOSSIP is O(ν) while WRITE is O(n·ν).
+func TestSizeScalesWithPayload(t *testing.T) {
+	const n, nu = 16, 1024
+	val := bytes.Repeat([]byte("x"), nu)
+	reg := make(types.RegVector, n)
+	for i := range reg {
+		reg[i] = types.TSValue{TS: 1, Val: append(types.Value(nil), val...)}
+	}
+	write := (&Message{Type: TWrite, Reg: reg}).Size()
+	gossip := (&Message{Type: TGossip, Entry: types.TSValue{TS: 1, Val: val}}).Size()
+	if write < n*nu {
+		t.Errorf("WRITE size %d < n·ν = %d", write, n*nu)
+	}
+	if gossip < nu || gossip > 2*nu {
+		t.Errorf("GOSSIP size %d not Θ(ν)=%d", gossip, nu)
+	}
+	if write < 8*gossip {
+		t.Errorf("WRITE (%d) should dwarf GOSSIP (%d) at n=%d", write, gossip, n)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TWrite.String() != "WRITE" || TSnapshotAck.String() != "SNAPSHOTack" {
+		t.Error("type names broken")
+	}
+	if Type(250).String() == "" {
+		t.Error("unknown type must render something")
+	}
+	if TInvalid.Valid() || Type(250).Valid() {
+		t.Error("Valid() broken")
+	}
+	if !TResetDone.Valid() {
+		t.Error("TResetDone must be valid")
+	}
+}

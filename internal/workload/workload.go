@@ -1,0 +1,226 @@
+// Package workload provides reusable load generators for clusters: a
+// closed-loop driver (a fixed number of workers per node issuing
+// back-to-back operations with optional think time) and an open-loop
+// driver (Poisson arrivals at a target rate). Experiments, benchmarks and
+// the soak tools share these instead of hand-rolling goroutine loops.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/types"
+)
+
+// Mix selects the operation blend.
+type Mix struct {
+	// SnapshotEvery issues one snapshot per this many writes per worker
+	// (0 = writes only).
+	SnapshotEvery int
+}
+
+// ClosedLoopConfig drives workers that issue operations back to back.
+type ClosedLoopConfig struct {
+	// Duration of the run.
+	Duration time.Duration
+	// WorkersPerNode issues operations concurrently at every node. Note
+	// that operations of one node are serialised by the object (SWMR
+	// model), so >1 workers per node measures queueing, not parallelism.
+	WorkersPerNode int
+	// ValueSize is the written payload size ν in bytes.
+	ValueSize int
+	// Think is the maximum random pause between a worker's operations.
+	Think time.Duration
+	// Mix blends snapshots into the write stream.
+	Mix Mix
+	// Seed drives think times deterministically.
+	Seed int64
+}
+
+// Report summarises a load run.
+type Report struct {
+	Writes     int64
+	Snapshots  int64
+	Errors     int64
+	Elapsed    time.Duration
+	WriteLat   metrics.LatencyStats
+	SnapLat    metrics.LatencyStats
+	Throughput float64 // successful ops per second
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("ops=%d (w=%d s=%d err=%d) in %v → %.0f op/s; write %v; snap %v",
+		r.Writes+r.Snapshots, r.Writes, r.Snapshots, r.Errors,
+		r.Elapsed.Round(time.Millisecond), r.Throughput, r.WriteLat, r.SnapLat)
+}
+
+// RunClosedLoop drives the cluster with cfg and reports.
+func RunClosedLoop(c *core.Cluster, cfg ClosedLoopConfig) Report {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 16
+	}
+
+	var writes, snaps, errs atomic.Int64
+	var writeLat, snapLat metrics.LatencyRecorder
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for id := 0; id < c.N(); id++ {
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			wg.Add(1)
+			go func(id, w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(id*131+w)))
+				payload := make(types.Value, cfg.ValueSize)
+				for j := 0; ; j++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rng.Read(payload)
+					start := time.Now()
+					if err := c.Write(id, payload); err != nil {
+						errs.Add(1)
+					} else {
+						writes.Add(1)
+						writeLat.Record(time.Since(start))
+					}
+					if cfg.Mix.SnapshotEvery > 0 && j%cfg.Mix.SnapshotEvery == cfg.Mix.SnapshotEvery-1 {
+						start = time.Now()
+						if _, err := c.Snapshot(id); err != nil {
+							errs.Add(1)
+						} else {
+							snaps.Add(1)
+							snapLat.Record(time.Since(start))
+						}
+					}
+					if cfg.Think > 0 {
+						time.Sleep(time.Duration(rng.Int63n(int64(cfg.Think))))
+					}
+				}
+			}(id, w)
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Writes: writes.Load(), Snapshots: snaps.Load(), Errors: errs.Load(),
+		Elapsed:  elapsed,
+		WriteLat: writeLat.Stats(), SnapLat: snapLat.Stats(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.Throughput = float64(r.Writes+r.Snapshots) / s
+	}
+	return r
+}
+
+// OpenLoopConfig issues operations at a target aggregate rate with
+// exponential inter-arrival times (Poisson process), spread round-robin
+// over the nodes. If the cluster cannot keep up, arrivals queue in
+// goroutines — open-loop measurement shows the latency cliff that
+// closed-loop drivers hide.
+type OpenLoopConfig struct {
+	Duration   time.Duration
+	RatePerSec float64
+	ValueSize  int
+	Mix        Mix
+	Seed       int64
+}
+
+// RunOpenLoop drives the cluster with Poisson arrivals and reports.
+func RunOpenLoop(c *core.Cluster, cfg OpenLoopConfig) Report {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	if cfg.RatePerSec <= 0 {
+		cfg.RatePerSec = 100
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 16
+	}
+
+	var writes, snaps, errs atomic.Int64
+	var writeLat, snapLat metrics.LatencyRecorder
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for i := 0; ; i++ {
+		// Exponential inter-arrival for a Poisson process.
+		gap := time.Duration(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+		if gap > time.Second {
+			gap = time.Second
+		}
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		id := i % c.N()
+		isSnap := cfg.Mix.SnapshotEvery > 0 && i%cfg.Mix.SnapshotEvery == cfg.Mix.SnapshotEvery-1
+		wg.Add(1)
+		go func(id int, isSnap bool, seed int64) {
+			defer wg.Done()
+			opStart := time.Now()
+			if isSnap {
+				if _, err := c.Snapshot(id); err != nil {
+					errs.Add(1)
+					return
+				}
+				snaps.Add(1)
+				snapLat.Record(time.Since(opStart))
+				return
+			}
+			payload := make(types.Value, cfg.ValueSize)
+			rand.New(rand.NewSource(seed)).Read(payload)
+			if err := c.Write(id, payload); err != nil {
+				errs.Add(1)
+				return
+			}
+			writes.Add(1)
+			writeLat.Record(time.Since(opStart))
+		}(id, isSnap, cfg.Seed+int64(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Writes: writes.Load(), Snapshots: snaps.Load(), Errors: errs.Load(),
+		Elapsed:  elapsed,
+		WriteLat: writeLat.Stats(), SnapLat: snapLat.Stats(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.Throughput = float64(r.Writes+r.Snapshots) / s
+	}
+	return r
+}
+
+// OfferedVsAchieved computes the saturation ratio of an open-loop run.
+func (r Report) OfferedVsAchieved(cfg OpenLoopConfig) float64 {
+	offered := cfg.RatePerSec * cfg.Duration.Seconds()
+	if offered <= 0 {
+		return math.NaN()
+	}
+	return float64(r.Writes+r.Snapshots) / offered
+}
