@@ -37,6 +37,7 @@ func main() {
 		write    = flag.String("write", "", "value prefix to write periodically (empty = don't write)")
 		interval = flag.Duration("interval", time.Second, "write period")
 		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
+		inboxCap = flag.Int("inbox", 0, "bounded inbox capacity, drop-oldest on overflow (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need at least 3 peers (2f < n)")
 		os.Exit(2)
 	}
-	tr, err := tcpnet.New(*id, addrs)
+	tr, err := tcpnet.NewWithOptions(*id, addrs, tcpnet.Options{InboxCap: *inboxCap})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -96,7 +97,8 @@ func main() {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("\nshutting down")
+			s := tr.Counters().Snapshot()
+			fmt.Printf("\nshutting down; traffic:\n%s", s)
 			return
 		case <-writeTick:
 			seq++

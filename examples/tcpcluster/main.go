@@ -59,9 +59,15 @@ func main() {
 		fmt.Printf("  register[%d] = %q (write #%d)\n", id, e.Val, e.TS)
 	}
 
-	var total int64
+	var total, drops, evictions, reconnects int64
 	for _, tr := range mesh.Transports {
-		total += tr.Counters().TotalMessages()
+		c := tr.Counters()
+		total += c.TotalMessages()
+		drops += c.Drops()
+		evictions += c.Evictions()
+		reconnects += c.Reconnects()
 	}
 	fmt.Printf("\n%d TCP messages exchanged in total\n", total)
+	fmt.Printf("transport health: %d drops, %d inbox evictions, %d connections established\n",
+		drops, evictions, reconnects)
 }

@@ -1,0 +1,146 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+func msg(ssn int64) *wire.Message { return &wire.Message{Type: wire.TGossip, SSN: ssn} }
+
+func TestFIFO(t *testing.T) {
+	q := New(4)
+	for i := int64(0); i < 3; i++ {
+		if q.Push(msg(i)) {
+			t.Fatalf("push %d evicted below capacity", i)
+		}
+	}
+	for i := int64(0); i < 3; i++ {
+		m, ok := q.Pop()
+		if !ok || m.SSN != i {
+			t.Fatalf("pop %d = %v ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestDropOldestOnOverflow(t *testing.T) {
+	q := New(3)
+	evictions := 0
+	for i := int64(0); i < 10; i++ {
+		if q.Push(msg(i)) {
+			evictions++
+		}
+	}
+	if evictions != 7 {
+		t.Errorf("evictions = %d, want 7", evictions)
+	}
+	if q.Len() != 3 {
+		t.Errorf("len = %d, want 3", q.Len())
+	}
+	for i := int64(7); i < 10; i++ {
+		m, ok := q.Pop()
+		if !ok || m.SSN != i {
+			t.Fatalf("surviving message = %v (ok=%v), want SSN %d", m, ok, i)
+		}
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	q := New(0)
+	if q.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamped 1", q.Cap())
+	}
+	q.Push(msg(1))
+	if !q.Push(msg(2)) {
+		t.Error("second push into cap-1 queue did not evict")
+	}
+	if m, _ := q.Pop(); m.SSN != 2 {
+		t.Errorf("kept SSN %d, want newest 2", m.SSN)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New(8)
+	q.Push(msg(1))
+	q.Push(msg(2))
+	q.Drain()
+	if q.Len() != 0 {
+		t.Error("drain left messages")
+	}
+	q.Push(msg(3))
+	if m, ok := q.Pop(); !ok || m.SSN != 3 {
+		t.Error("queue unusable after drain")
+	}
+}
+
+func TestCloseDrainsThenReportsClosed(t *testing.T) {
+	q := New(8)
+	q.Push(msg(1))
+	q.Close()
+	if m, ok := q.Pop(); !ok || m.SSN != 1 {
+		t.Fatal("buffered message lost by close")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after drain of closed queue succeeded")
+	}
+	if q.Push(msg(2)) {
+		t.Error("push to closed queue reported eviction")
+	}
+	if q.Len() != 0 {
+		t.Error("push to closed queue enqueued")
+	}
+}
+
+func TestCloseUnblocksPop(t *testing.T) {
+	q := New(4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("blocked pop returned a message after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Pop")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	q := New(64)
+	const producers, per = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(msg(int64(i)))
+			}
+		}()
+	}
+	var got int
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			if _, ok := q.Pop(); !ok {
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	rwg.Wait()
+	if got == 0 || got > producers*per {
+		t.Errorf("drained %d messages, want (0, %d]", got, producers*per)
+	}
+}

@@ -18,29 +18,72 @@ import (
 // Counters aggregates network-level counts. All methods are safe for
 // concurrent use. The zero value is ready to use.
 type Counters struct {
-	msgs  [64]atomic.Int64 // indexed by wire.Type
-	bytes [64]atomic.Int64
-	drops atomic.Int64
-	dups  atomic.Int64
+	msgs         [64]atomic.Int64 // indexed by wire.Type
+	bytes        [64]atomic.Int64
+	drops        atomic.Int64
+	dups         atomic.Int64
+	evictions    atomic.Int64
+	reconnects   atomic.Int64
+	writeFails   atomic.Int64
+	invalidTypes atomic.Int64
 }
 
+// inRange reports whether t indexes the fixed per-type arrays. A transient
+// fault may corrupt a message's type beyond the known range; the meter must
+// count that, not panic on it.
+func (c *Counters) inRange(t wire.Type) bool { return int(t) < len(c.msgs) }
+
 // RecordSend accounts one transmitted message of type t and size n bytes.
+// An out-of-range type is counted under InvalidTypes instead.
 func (c *Counters) RecordSend(t wire.Type, n int) {
+	if !c.inRange(t) {
+		c.invalidTypes.Add(1)
+		return
+	}
 	c.msgs[t].Add(1)
 	c.bytes[t].Add(int64(n))
 }
 
-// RecordDrop accounts one message lost by the adversary.
+// RecordDrop accounts one message lost by the adversary (or, on the TCP
+// transport, by a failed write or unreachable peer).
 func (c *Counters) RecordDrop() { c.drops.Add(1) }
 
 // RecordDup accounts one message duplicated by the adversary.
 func (c *Counters) RecordDup() { c.dups.Add(1) }
 
-// Messages returns the number of messages of type t sent so far.
-func (c *Counters) Messages(t wire.Type) int64 { return c.msgs[t].Load() }
+// RecordEviction accounts one message lost to bounded-inbox overflow
+// (drop-oldest): the channel-capacity loss of the paper's §2 model.
+func (c *Counters) RecordEviction() { c.evictions.Add(1) }
 
-// Bytes returns the bytes of type-t messages sent so far.
-func (c *Counters) Bytes(t wire.Type) int64 { return c.bytes[t].Load() }
+// RecordReconnect accounts one successful (re-)established peer connection
+// on the TCP transport.
+func (c *Counters) RecordReconnect() { c.reconnects.Add(1) }
+
+// RecordWriteFailure accounts one frame that could not be written to an
+// established connection (the message is also counted as a drop).
+func (c *Counters) RecordWriteFailure() { c.writeFails.Add(1) }
+
+// RecordInvalidType accounts one message whose type fell outside the known
+// range — the footprint of a transient fault corrupting a type field.
+func (c *Counters) RecordInvalidType() { c.invalidTypes.Add(1) }
+
+// Messages returns the number of messages of type t sent so far; 0 for an
+// out-of-range t.
+func (c *Counters) Messages(t wire.Type) int64 {
+	if !c.inRange(t) {
+		return 0
+	}
+	return c.msgs[t].Load()
+}
+
+// Bytes returns the bytes of type-t messages sent so far; 0 for an
+// out-of-range t.
+func (c *Counters) Bytes(t wire.Type) int64 {
+	if !c.inRange(t) {
+		return 0
+	}
+	return c.bytes[t].Load()
+}
 
 // TotalMessages returns the number of messages of any type sent so far.
 func (c *Counters) TotalMessages() int64 {
@@ -66,6 +109,18 @@ func (c *Counters) Drops() int64 { return c.drops.Load() }
 // Dups returns the number of adversarially duplicated messages.
 func (c *Counters) Dups() int64 { return c.dups.Load() }
 
+// Evictions returns the number of messages lost to inbox overflow.
+func (c *Counters) Evictions() int64 { return c.evictions.Load() }
+
+// Reconnects returns the number of successful peer (re-)connections.
+func (c *Counters) Reconnects() int64 { return c.reconnects.Load() }
+
+// WriteFailures returns the number of failed frame writes.
+func (c *Counters) WriteFailures() int64 { return c.writeFails.Load() }
+
+// InvalidTypes returns the number of out-of-range message types seen.
+func (c *Counters) InvalidTypes() int64 { return c.invalidTypes.Load() }
+
 // Snapshot captures the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{PerType: map[wire.Type]TypeCount{}}
@@ -80,6 +135,10 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 	s.Drops = c.drops.Load()
 	s.Dups = c.dups.Load()
+	s.Evictions = c.evictions.Load()
+	s.Reconnects = c.reconnects.Load()
+	s.WriteFailures = c.writeFails.Load()
+	s.InvalidTypes = c.invalidTypes.Load()
 	return s
 }
 
@@ -91,21 +150,29 @@ type TypeCount struct {
 
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
-	PerType  map[wire.Type]TypeCount
-	Messages int64
-	Bytes    int64
-	Drops    int64
-	Dups     int64
+	PerType       map[wire.Type]TypeCount
+	Messages      int64
+	Bytes         int64
+	Drops         int64
+	Dups          int64
+	Evictions     int64
+	Reconnects    int64
+	WriteFailures int64
+	InvalidTypes  int64
 }
 
 // Sub returns the difference s − o, the traffic between two snapshots.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	d := Snapshot{
-		PerType:  map[wire.Type]TypeCount{},
-		Messages: s.Messages - o.Messages,
-		Bytes:    s.Bytes - o.Bytes,
-		Drops:    s.Drops - o.Drops,
-		Dups:     s.Dups - o.Dups,
+		PerType:       map[wire.Type]TypeCount{},
+		Messages:      s.Messages - o.Messages,
+		Bytes:         s.Bytes - o.Bytes,
+		Drops:         s.Drops - o.Drops,
+		Dups:          s.Dups - o.Dups,
+		Evictions:     s.Evictions - o.Evictions,
+		Reconnects:    s.Reconnects - o.Reconnects,
+		WriteFailures: s.WriteFailures - o.WriteFailures,
+		InvalidTypes:  s.InvalidTypes - o.InvalidTypes,
 	}
 	for t, tc := range s.PerType {
 		prev := o.PerType[t]
@@ -147,7 +214,10 @@ func (s Snapshot) String() string {
 		tc := s.PerType[t]
 		fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d\n", t, tc.Messages, tc.Bytes)
 	}
-	fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d drops=%d dups=%d\n", "TOTAL", s.Messages, s.Bytes, s.Drops, s.Dups)
+	fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d drops=%d dups=%d evictions=%d\n", "TOTAL", s.Messages, s.Bytes, s.Drops, s.Dups, s.Evictions)
+	if s.Reconnects != 0 || s.WriteFailures != 0 || s.InvalidTypes != 0 {
+		fmt.Fprintf(&b, "%-14s reconnects=%d write-failures=%d invalid-types=%d\n", "TRANSPORT", s.Reconnects, s.WriteFailures, s.InvalidTypes)
+	}
 	return b.String()
 }
 

@@ -28,6 +28,49 @@ func TestCountersBasic(t *testing.T) {
 	}
 }
 
+func TestTransportCounters(t *testing.T) {
+	var c Counters
+	c.RecordEviction()
+	c.RecordEviction()
+	c.RecordReconnect()
+	c.RecordWriteFailure()
+	c.RecordInvalidType()
+
+	if c.Evictions() != 2 || c.Reconnects() != 1 || c.WriteFailures() != 1 || c.InvalidTypes() != 1 {
+		t.Errorf("transport counters wrong: ev=%d rc=%d wf=%d it=%d",
+			c.Evictions(), c.Reconnects(), c.WriteFailures(), c.InvalidTypes())
+	}
+	s := c.Snapshot()
+	if s.Evictions != 2 || s.Reconnects != 1 || s.WriteFailures != 1 || s.InvalidTypes != 1 {
+		t.Errorf("snapshot transport fields wrong: %+v", s)
+	}
+	d := s.Sub(Snapshot{PerType: map[wire.Type]TypeCount{}, Evictions: 1})
+	if d.Evictions != 1 || d.Reconnects != 1 {
+		t.Errorf("Sub ignored transport fields: %+v", d)
+	}
+	if out := s.String(); !strings.Contains(out, "evictions=2") || !strings.Contains(out, "reconnects=1") {
+		t.Errorf("render missing transport counters: %s", out)
+	}
+}
+
+// TestOutOfRangeTypeDoesNotPanic: a transient-fault-corrupted message type
+// beyond the per-type array bound must be counted, never panic the meter.
+func TestOutOfRangeTypeDoesNotPanic(t *testing.T) {
+	var c Counters
+	for _, bad := range []wire.Type{64, 100, 255} {
+		c.RecordSend(bad, 10)
+		if c.Messages(bad) != 0 || c.Bytes(bad) != 0 {
+			t.Errorf("out-of-range type %d metered as a send", bad)
+		}
+	}
+	if c.InvalidTypes() != 3 {
+		t.Errorf("invalid types = %d, want 3", c.InvalidTypes())
+	}
+	if c.TotalMessages() != 0 {
+		t.Errorf("invalid sends leaked into totals: %d", c.TotalMessages())
+	}
+}
+
 func TestCountersConcurrent(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

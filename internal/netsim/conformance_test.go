@@ -1,0 +1,18 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/transporttest"
+)
+
+// TestOverloadConformance runs the shared drop-oldest overload suite
+// against the in-memory simulator; internal/tcpnet runs the identical
+// suite, guaranteeing both backends agree on the model's channel loss.
+func TestOverloadConformance(t *testing.T) {
+	const capacity = 16
+	n := netsim.New(netsim.Config{N: 2, Seed: 1, InboxCap: capacity})
+	defer n.Close()
+	transporttest.OverloadDropOldest(t, n, n, 0, 1, capacity)
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"selfstabsnap/internal/mailbox"
 	"selfstabsnap/internal/metrics"
 	"selfstabsnap/internal/wire"
 )
@@ -41,15 +42,35 @@ type Transport interface {
 }
 
 // Adversary configures the packet-level misbehaviour of every link.
-// The zero value is a perfect network with instantaneous delivery.
+// The zero value is a perfect network with instantaneous delivery: no
+// drops, no duplicates, and both delay bounds zero.
 type Adversary struct {
 	// DropProb is the probability a packet is silently lost.
 	DropProb float64
 	// DupProb is the probability a packet is delivered twice.
 	DupProb float64
 	// MinDelay and MaxDelay bound the uniformly random delivery delay.
+	// New normalizes a misordered pair (MaxDelay < MinDelay) by swapping
+	// the bounds, and clamps negative values to zero; MinDelay == MaxDelay
+	// means every packet is delayed by exactly that duration.
 	MinDelay time.Duration
 	MaxDelay time.Duration
+}
+
+// normalized returns a copy with the delay pair ordered and non-negative,
+// so a misconfigured MaxDelay < MinDelay cannot silently disable the delay
+// adversary (delay() would otherwise always return MinDelay).
+func (a Adversary) normalized() Adversary {
+	if a.MinDelay < 0 {
+		a.MinDelay = 0
+	}
+	if a.MaxDelay < 0 {
+		a.MaxDelay = 0
+	}
+	if a.MaxDelay < a.MinDelay {
+		a.MinDelay, a.MaxDelay = a.MaxDelay, a.MinDelay
+	}
+	return a
 }
 
 // delay draws a delivery delay; rng must be guarded by the caller.
@@ -79,7 +100,7 @@ type TraceHook interface {
 // Network is the in-memory simulated transport.
 type Network struct {
 	cfg      Config
-	inboxes  []*inbox
+	inboxes  []*mailbox.Queue
 	counters metrics.Counters
 
 	mu      sync.Mutex
@@ -87,23 +108,37 @@ type Network struct {
 	blocked map[[2]int]bool // directed partition cuts
 	seq     uint64
 	closed  bool
-	timers  sync.WaitGroup
+
+	// Delayed-delivery scheduler: one goroutine per network drains a
+	// min-heap of pending packets (see scheduler.go).
+	pendMu    sync.Mutex
+	pendHeap  pendingHeap
+	pendOrder uint64
+	wake      chan struct{}
+	done      chan struct{}
+	loopWg    sync.WaitGroup
 }
 
-// New creates a simulated network for cfg.N nodes.
+// New creates a simulated network for cfg.N nodes. The adversary's delay
+// bounds are normalized (swapped if misordered, clamped non-negative).
 func New(cfg Config) *Network {
 	if cfg.InboxCap <= 0 {
 		cfg.InboxCap = 4096
 	}
+	cfg.Adversary = cfg.Adversary.normalized()
 	n := &Network{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		blocked: make(map[[2]int]bool),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
-	n.inboxes = make([]*inbox, cfg.N)
+	n.inboxes = make([]*mailbox.Queue, cfg.N)
 	for i := range n.inboxes {
-		n.inboxes[i] = newInbox(cfg.InboxCap)
+		n.inboxes[i] = mailbox.New(cfg.InboxCap)
 	}
+	n.loopWg.Add(1)
+	go n.deliveryLoop()
 	return n
 }
 
@@ -158,11 +193,7 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 			n.deliver(from, to, dup)
 			continue
 		}
-		n.timers.Add(1)
-		time.AfterFunc(d, func() {
-			defer n.timers.Done()
-			n.deliver(from, to, dup)
-		})
+		n.schedule(time.Now().Add(d), from, to, dup)
 	}
 }
 
@@ -173,7 +204,11 @@ func (n *Network) deliver(from, to int, m *wire.Message) {
 	if closed {
 		return
 	}
-	n.inboxes[to].push(m)
+	if n.inboxes[to].Push(m) {
+		// Bounded-capacity channel overflow: the oldest queued message was
+		// lost. The paper's complexity claims rest on metering this.
+		n.counters.RecordEviction()
+	}
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.OnDeliver(from, to, m, time.Now())
 	}
@@ -181,18 +216,18 @@ func (n *Network) deliver(from, to int, m *wire.Message) {
 
 // Recv blocks until a message for node id arrives or the network is closed.
 func (n *Network) Recv(id int) (*wire.Message, bool) {
-	return n.inboxes[id].pop()
+	return n.inboxes[id].Pop()
 }
 
 // CloseEndpoint permanently closes node id's inbox.
-func (n *Network) CloseEndpoint(id int) { n.inboxes[id].close() }
+func (n *Network) CloseEndpoint(id int) { n.inboxes[id].Close() }
 
 // QueueLen reports the number of undelivered messages waiting for node id.
-func (n *Network) QueueLen(id int) int { return n.inboxes[id].len() }
+func (n *Network) QueueLen(id int) int { return n.inboxes[id].Len() }
 
 // DrainInbox discards node id's queued messages, modelling the loss of
 // channel content on a detectable restart.
-func (n *Network) DrainInbox(id int) { n.inboxes[id].drain() }
+func (n *Network) DrainInbox(id int) { n.inboxes[id].Drain() }
 
 // SetCut blocks (or unblocks) the directed link from → to. Cutting both
 // directions of every link between two node sets partitions the network.
@@ -217,8 +252,10 @@ func (n *Network) Isolate(id int, isolated bool) {
 	}
 }
 
-// Close shuts the network down, waits for in-flight delayed deliveries, and
-// unblocks all receivers.
+// Close shuts the network down and unblocks all receivers. It returns
+// promptly regardless of MaxDelay: delayed packets still pending are
+// discarded, exactly as a closed network would have discarded them on
+// arrival.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -227,9 +264,10 @@ func (n *Network) Close() {
 	}
 	n.closed = true
 	n.mu.Unlock()
-	n.timers.Wait()
+	close(n.done)
+	n.loopWg.Wait()
 	for _, q := range n.inboxes {
-		q.close()
+		q.Close()
 	}
 }
 

@@ -161,6 +161,62 @@ func TestBoundedInboxDropsOldest(t *testing.T) {
 	}
 }
 
+// TestEvictionsAreMetered: every message lost to bounded-inbox overflow
+// must surface in the counters — the paper's bounded-capacity channel loss
+// is part of the communication-complexity accounting.
+func TestEvictionsAreMetered(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1, InboxCap: 4})
+	defer n.Close()
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, &wire.Message{Type: wire.TWrite, SSN: int64(i)})
+	}
+	if got := n.Counters().Evictions(); got != 6 {
+		t.Errorf("evictions = %d, want 6", got)
+	}
+	if got := n.Counters().Snapshot().Evictions; got != 6 {
+		t.Errorf("snapshot evictions = %d, want 6", got)
+	}
+	// Evictions are channel-capacity losses, distinct from adversary drops.
+	if got := n.Counters().Drops(); got != 0 {
+		t.Errorf("drops = %d, want 0 (evictions must not be conflated)", got)
+	}
+}
+
+// TestClosePromptWithLargeMaxDelay: Close must not stall until pending
+// delayed packets would have been delivered (the old per-packet timer
+// scheme waited up to MaxDelay).
+func TestClosePromptWithLargeMaxDelay(t *testing.T) {
+	n := New(Config{N: 2, Seed: 1, Adversary: Adversary{MinDelay: 10 * time.Second, MaxDelay: 20 * time.Second}})
+	for i := 0; i < 100; i++ {
+		n.Send(0, 1, msg(wire.TWrite))
+	}
+	if n.pendingLen() == 0 {
+		t.Fatal("no pending delayed packets; test exercises nothing")
+	}
+	start := time.Now()
+	n.Close()
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Close took %v with 20s MaxDelay backlog", d)
+	}
+}
+
+// TestDelayBoundsNormalized: a misconfigured MaxDelay < MinDelay used to be
+// silently ignored by Adversary.delay; New must normalize the pair.
+func TestDelayBoundsNormalized(t *testing.T) {
+	n := New(Config{N: 1, Seed: 1, Adversary: Adversary{MinDelay: 5 * time.Millisecond, MaxDelay: time.Millisecond}})
+	defer n.Close()
+	a := n.cfg.Adversary
+	if a.MinDelay != time.Millisecond || a.MaxDelay != 5*time.Millisecond {
+		t.Errorf("bounds not swapped: min=%v max=%v", a.MinDelay, a.MaxDelay)
+	}
+	n2 := New(Config{N: 1, Seed: 1, Adversary: Adversary{MinDelay: -time.Second, MaxDelay: -time.Millisecond}})
+	defer n2.Close()
+	a2 := n2.cfg.Adversary
+	if a2.MinDelay != 0 || a2.MaxDelay != 0 {
+		t.Errorf("negative bounds not clamped: min=%v max=%v", a2.MinDelay, a2.MaxDelay)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	n := New(Config{N: 2, Seed: 1})
 	defer n.Close()

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+// delayedPacket is one adversarially delayed packet awaiting delivery.
+type delayedPacket struct {
+	due      time.Time
+	order    uint64 // FIFO tiebreak for equal deadlines (deterministic)
+	from, to int
+	m        *wire.Message
+}
+
+// A single goroutine per Network drains this min-heap instead of arming one
+// runtime timer per in-flight packet: far fewer allocations under load, and
+// Close can abandon the backlog immediately instead of stalling for up to
+// MaxDelay while per-packet timers fire.
+type pendingHeap []delayedPacket
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].order < h[j].order
+}
+func (h pendingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *pendingHeap) Push(x any) { *h = append(*h, x.(delayedPacket)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = delayedPacket{}
+	*h = old[:n-1]
+	return p
+}
+
+// schedule enqueues a delayed delivery and nudges the delivery goroutine.
+func (n *Network) schedule(due time.Time, from, to int, m *wire.Message) {
+	n.pendMu.Lock()
+	n.pendOrder++
+	heap.Push(&n.pendHeap, delayedPacket{due: due, order: n.pendOrder, from: from, to: to, m: m})
+	n.pendMu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pendingLen reports the number of not-yet-delivered delayed packets.
+func (n *Network) pendingLen() int {
+	n.pendMu.Lock()
+	defer n.pendMu.Unlock()
+	return n.pendHeap.Len()
+}
+
+// deliveryLoop is the Network's single delivery goroutine: it sleeps until
+// the earliest pending deadline, delivers everything due, and exits as soon
+// as Close signals — packets still pending are then simply lost, which the
+// closed network would have discarded anyway.
+func (n *Network) deliveryLoop() {
+	defer n.loopWg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		n.pendMu.Lock()
+		now := time.Now()
+		var due []delayedPacket
+		for n.pendHeap.Len() > 0 && !n.pendHeap[0].due.After(now) {
+			due = append(due, heap.Pop(&n.pendHeap).(delayedPacket))
+		}
+		wait := time.Duration(-1)
+		if n.pendHeap.Len() > 0 {
+			wait = n.pendHeap[0].due.Sub(now)
+		}
+		n.pendMu.Unlock()
+
+		for _, p := range due {
+			n.deliver(p.from, p.to, p.m)
+		}
+		if len(due) > 0 {
+			continue // new packets may have become due while delivering
+		}
+
+		if wait < 0 {
+			select {
+			case <-n.wake:
+			case <-n.done:
+				return
+			}
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-n.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-n.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}

@@ -24,7 +24,11 @@ func (c *call) offer(m *wire.Message) {
 	c.mu <- struct{}{}
 	if _, dup := c.senders[m.From]; !dup {
 		c.senders[m.From] = struct{}{}
-		c.msgs = append(c.msgs, m)
+		// Clone: one arriving message may be accepted by several concurrent
+		// calls (and is also handed to the algorithm's handler); without a
+		// private copy, one caller mutating its Rec set would corrupt the
+		// others'.
+		c.msgs = append(c.msgs, m.Clone())
 		select {
 		case c.notify <- struct{}{}:
 		default:

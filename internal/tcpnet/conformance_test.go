@@ -1,0 +1,20 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/transporttest"
+)
+
+// TestOverloadConformance runs the shared drop-oldest overload suite
+// against real sockets; internal/netsim runs the identical suite,
+// guaranteeing both backends agree on the model's channel loss.
+func TestOverloadConformance(t *testing.T) {
+	const capacity = 16
+	m, err := NewMeshWithOptions(2, Options{InboxCap: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	transporttest.OverloadDropOldest(t, m.Transports[0], m.Transports[1], 0, 1, capacity)
+}

@@ -4,22 +4,34 @@
 // across actual sockets — one node per process (cmd/tcpnode) or a whole
 // cluster on localhost (examples/tcpcluster).
 //
-// Failure semantics deliberately mirror the paper's channel model: a frame
-// that cannot be written (peer down, connection reset) is silently dropped
-// and counted as a loss; the algorithms' retransmission ("repeat broadcast
-// until") provides the fair-communication recovery, exactly as over the
-// simulated lossy network.
+// Failure semantics deliberately mirror the paper's §2 channel model, and
+// are identical to the in-memory simulator's (asserted by the shared
+// conformance test in internal/transporttest):
+//
+//   - a frame that cannot be written (peer down, connection reset) is
+//     silently dropped and counted as a loss; the algorithms'
+//     retransmission ("repeat broadcast until") provides the
+//     fair-communication recovery, exactly as over the simulated lossy
+//     network;
+//   - the receive path is a bounded drop-oldest inbox (internal/mailbox):
+//     a stalled or slow receiver loses the *oldest* queued messages —
+//     metered as evictions — instead of exerting backpressure on senders,
+//     which would violate the model's bounded-capacity lossy channels;
+//   - failed peers are re-dialed with exponential backoff plus jitter, so
+//     a dead peer costs one cheap in-memory check per send instead of a
+//     synchronous dial.
 package tcpnet
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"selfstabsnap/internal/mailbox"
 	"selfstabsnap/internal/metrics"
 	"selfstabsnap/internal/wire"
 )
@@ -28,29 +40,85 @@ import (
 // close the connection.
 const maxFrame = 16 << 20
 
+// Options tunes a Transport. The zero value gets production defaults.
+type Options struct {
+	// InboxCap bounds the receive queue (drop-oldest on overflow;
+	// default 4096) — the same bounded channel capacity as netsim.
+	InboxCap int
+	// DialTimeout bounds each connection attempt (default 1s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 2s).
+	WriteTimeout time.Duration
+	// RedialBackoffMin is the first wait after a failed dial (default
+	// 50ms); it doubles per consecutive failure up to RedialBackoffMax
+	// (default 2s), with uniform jitter of up to half the backoff added.
+	RedialBackoffMin time.Duration
+	RedialBackoffMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.InboxCap <= 0 {
+		o.InboxCap = 4096
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.RedialBackoffMin <= 0 {
+		o.RedialBackoffMin = 50 * time.Millisecond
+	}
+	if o.RedialBackoffMax < o.RedialBackoffMin {
+		o.RedialBackoffMax = 2 * time.Second
+		if o.RedialBackoffMax < o.RedialBackoffMin {
+			o.RedialBackoffMax = o.RedialBackoffMin
+		}
+	}
+	return o
+}
+
+// peer is the outbound side of one link: its connection (if up) and the
+// redial backoff state. Its mutex also serializes frame writes, so
+// concurrent Sends cannot interleave partial frames on one socket.
+type peer struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	backoff  time.Duration
+	nextDial time.Time
+}
+
 // Transport is a single node's TCP endpoint. It implements
 // netsim.Transport for its own node id only (Recv of a foreign id fails),
 // which is all a node.Runtime requires.
 type Transport struct {
 	self  int
 	addrs []string
+	opts  Options
 
 	listener net.Listener
 	counters metrics.Counters
 
-	mu     sync.Mutex
-	conns  map[int]net.Conn
-	closed bool
+	mu       sync.Mutex // guards closed, rng and accepted
+	rng      *rand.Rand // backoff jitter
+	closed   bool
+	accepted map[net.Conn]struct{} // inbound conns, closed on shutdown
 
-	inbox   chan *wire.Message
-	closeCh chan struct{}
-	wg      sync.WaitGroup
+	peers []*peer
+	inbox *mailbox.Queue
+	wg    sync.WaitGroup
 }
 
-// New creates a transport for node self of the cluster whose node i
-// listens on addrs[i], and starts listening. Peers are dialed lazily on
-// first send and re-dialed after failures.
+// New creates a transport with default Options for node self of the
+// cluster whose node i listens on addrs[i], and starts listening. Peers
+// are dialed lazily on first send and re-dialed with backoff after
+// failures.
 func New(self int, addrs []string) (*Transport, error) {
+	return NewWithOptions(self, addrs, Options{})
+}
+
+// NewWithOptions is New with explicit tuning.
+func NewWithOptions(self int, addrs []string, opts Options) (*Transport, error) {
 	if self < 0 || self >= len(addrs) {
 		return nil, fmt.Errorf("tcpnet: self %d out of range of %d addrs", self, len(addrs))
 	}
@@ -58,13 +126,19 @@ func New(self int, addrs []string) (*Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addrs[self], err)
 	}
+	opts = opts.withDefaults()
 	t := &Transport{
 		self:     self,
 		addrs:    append([]string(nil), addrs...),
+		opts:     opts,
 		listener: ln,
-		conns:    make(map[int]net.Conn),
-		inbox:    make(chan *wire.Message, 4096),
-		closeCh:  make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(self)<<32)),
+		accepted: make(map[net.Conn]struct{}),
+		peers:    make([]*peer, len(addrs)),
+		inbox:    mailbox.New(opts.InboxCap),
+	}
+	for i := range t.peers {
+		t.peers[i] = &peer{}
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -81,6 +155,9 @@ func (t *Transport) N() int { return len(t.addrs) }
 // Counters exposes the traffic meters.
 func (t *Transport) Counters() *metrics.Counters { return &t.counters }
 
+// QueueLen reports the number of received messages waiting in the inbox.
+func (t *Transport) QueueLen() int { return t.inbox.Len() }
+
 func (t *Transport) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -88,6 +165,14 @@ func (t *Transport) acceptLoop() {
 		if err != nil {
 			return
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
@@ -95,7 +180,12 @@ func (t *Transport) acceptLoop() {
 
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
-	defer conn.Close()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -113,19 +203,23 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // corrupted frame; self-stabilization demands we drop, not crash
 		}
-		select {
-		case t.inbox <- m:
-		case <-t.closeCh:
-			return
-		default:
-			// Bounded channel capacity: overload loses messages, as in the
-			// paper's model.
-			t.counters.RecordDrop()
-		}
+		t.accept(m)
 	}
 }
 
-// Send implements netsim.Transport. from must be this node's id.
+// accept enqueues an arriving message, metering drop-oldest evictions. It
+// never blocks: a full inbox loses its oldest message, as in the model's
+// bounded-capacity channels.
+func (t *Transport) accept(m *wire.Message) {
+	if t.inbox.Push(m) {
+		t.counters.RecordEviction()
+	}
+}
+
+// Send implements netsim.Transport. from must be this node's id. A message
+// that cannot be delivered (transport closed, peer unreachable or in dial
+// backoff, write failure) is dropped and metered, never blocks the caller
+// beyond the configured dial/write timeouts.
 func (t *Transport) Send(from, to int, m *wire.Message) {
 	if from != t.self || to < 0 || to >= len(t.addrs) {
 		return
@@ -135,11 +229,7 @@ func (t *Transport) Send(from, to int, m *wire.Message) {
 	if to == t.self {
 		// Loopback delivery without a socket.
 		t.counters.RecordSend(c.Type, c.Size())
-		select {
-		case t.inbox <- c:
-		default:
-			t.counters.RecordDrop()
-		}
+		t.accept(c)
 		return
 	}
 	payload := wire.Marshal(c)
@@ -147,63 +237,88 @@ func (t *Transport) Send(from, to int, m *wire.Message) {
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	copy(frame[4:], payload)
 
-	conn, err := t.conn(to)
-	if err != nil {
-		t.counters.RecordDrop()
-		return
+	p := t.peers[to]
+	p.mu.Lock()
+	conn := p.conn
+	if conn == nil {
+		var ok bool
+		if conn, ok = t.dialLocked(p, to); !ok {
+			p.mu.Unlock()
+			t.counters.RecordDrop()
+			return
+		}
 	}
-	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 	if _, err := conn.Write(frame); err != nil {
-		t.dropConn(to, conn)
+		if p.conn == conn {
+			p.conn = nil
+		}
+		p.mu.Unlock()
+		conn.Close()
+		t.counters.RecordWriteFailure()
 		t.counters.RecordDrop()
 		return
 	}
+	p.mu.Unlock()
 	t.counters.RecordSend(c.Type, len(payload))
 }
 
-func (t *Transport) conn(to int) (net.Conn, error) {
+// dialLocked establishes p's connection, honouring the redial backoff; it
+// runs with p.mu held (senders to *other* peers are unaffected). A failed
+// attempt doubles the backoff and adds jitter, so a dead peer costs one
+// time comparison per send until the window expires.
+func (t *Transport) dialLocked(p *peer, to int) (net.Conn, bool) {
+	now := time.Now()
+	if now.Before(p.nextDial) || t.isClosed() {
+		return nil, false
+	}
+	conn, err := net.DialTimeout("tcp", t.addrs[to], t.opts.DialTimeout)
+	if err != nil {
+		if p.backoff < t.opts.RedialBackoffMin {
+			p.backoff = t.opts.RedialBackoffMin
+		} else {
+			p.backoff *= 2
+			if p.backoff > t.opts.RedialBackoffMax {
+				p.backoff = t.opts.RedialBackoffMax
+			}
+		}
+		p.nextDial = now.Add(p.backoff + t.jitter(p.backoff/2))
+		return nil, false
+	}
+	if t.isClosed() {
+		conn.Close()
+		return nil, false
+	}
+	p.conn = conn
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	t.counters.RecordReconnect()
+	return conn, true
+}
+
+// jitter draws a uniform duration in [0, bound).
+func (t *Transport) jitter(bound time.Duration) time.Duration {
+	if bound <= 0 {
+		return 0
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.closed {
-		return nil, errors.New("tcpnet: closed")
-	}
-	if c, ok := t.conns[to]; ok {
-		return c, nil
-	}
-	c, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
-	if err != nil {
-		return nil, err
-	}
-	t.conns[to] = c
-	return c, nil
+	return time.Duration(t.rng.Int63n(int64(bound)))
 }
 
-func (t *Transport) dropConn(to int, conn net.Conn) {
+func (t *Transport) isClosed() bool {
 	t.mu.Lock()
-	if t.conns[to] == conn {
-		delete(t.conns, to)
-	}
-	t.mu.Unlock()
-	conn.Close()
+	defer t.mu.Unlock()
+	return t.closed
 }
 
-// Recv implements netsim.Transport for this node's own id.
+// Recv implements netsim.Transport for this node's own id. After close,
+// buffered messages are drained before ok turns false.
 func (t *Transport) Recv(id int) (*wire.Message, bool) {
 	if id != t.self {
 		return nil, false
 	}
-	select {
-	case m, ok := <-t.inbox:
-		return m, ok
-	case <-t.closeCh:
-		// Drain whatever is buffered before reporting closed.
-		select {
-		case m, ok := <-t.inbox:
-			return m, ok
-		default:
-			return nil, false
-		}
-	}
+	return t.inbox.Pop()
 }
 
 // CloseEndpoint implements netsim.Transport; closing a node's endpoint is
@@ -221,13 +336,24 @@ func (t *Transport) signalClose() {
 		return
 	}
 	t.closed = true
-	close(t.closeCh)
-	for _, c := range t.conns {
-		c.Close()
+	inbound := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		inbound = append(inbound, c)
 	}
-	t.conns = map[int]net.Conn{}
 	t.mu.Unlock()
 	t.listener.Close()
+	for _, c := range inbound {
+		c.Close() // unblock readLoops stuck mid-frame
+	}
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	t.inbox.Close()
 }
 
 // Close shuts the transport down and waits for its goroutines.
@@ -242,8 +368,14 @@ type Mesh struct {
 	Transports []*Transport
 }
 
-// NewMesh creates n transports listening on ephemeral localhost ports.
+// NewMesh creates n transports with default Options listening on
+// ephemeral localhost ports.
 func NewMesh(n int) (*Mesh, error) {
+	return NewMeshWithOptions(n, Options{})
+}
+
+// NewMeshWithOptions is NewMesh with explicit per-transport tuning.
+func NewMeshWithOptions(n int, opts Options) (*Mesh, error) {
 	// First pass: bind listeners on :0 to learn the ports.
 	addrs := make([]string, n)
 	tmp := make([]net.Listener, n)
@@ -263,7 +395,7 @@ func NewMesh(n int) (*Mesh, error) {
 	}
 	m := &Mesh{}
 	for i := 0; i < n; i++ {
-		t, err := New(i, addrs)
+		t, err := NewWithOptions(i, addrs, opts)
 		if err != nil {
 			m.Close()
 			return nil, err

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -120,6 +121,126 @@ func TestManyMessagesOrderedPerLink(t *testing.T) {
 			t.Fatalf("TCP reordered within one connection: %d after %d", got.SNS, prev)
 		}
 		prev = got.SNS
+	}
+}
+
+// TestStalledReceiverDropsNotBlocks: a receiver that never drains its
+// inbox must cause drop-oldest evictions at the receiving transport — it
+// must NOT exert backpressure that stalls the sender, which would violate
+// the paper's bounded-capacity lossy-channel model.
+func TestStalledReceiverDropsNotBlocks(t *testing.T) {
+	const cap, total = 8, 200
+	m, err := NewMeshWithOptions(2, Options{InboxCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	sendDone := make(chan struct{})
+	go func() {
+		defer close(sendDone)
+		for i := 0; i < total; i++ {
+			m.Transports[0].Send(0, 1, &wire.Message{Type: wire.TGossip, SNS: int64(i)})
+		}
+	}()
+	select {
+	case <-sendDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender stalled by a receiver that never drains (backpressure instead of loss)")
+	}
+
+	// The receiver's read loop keeps draining the socket into the bounded
+	// inbox, evicting the oldest entries.
+	deadline := time.Now().Add(5 * time.Second)
+	rc := m.Transports[1].Counters()
+	for rc.Evictions() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rc.Evictions() == 0 {
+		t.Fatal("no evictions metered at the stalled receiver")
+	}
+	if got := m.Transports[1].QueueLen(); got > cap {
+		t.Errorf("inbox grew past its bound: %d > %d", got, cap)
+	}
+}
+
+// TestRedialWithBackoffRecovers: sends to a dead peer are dropped (with
+// dial attempts rate-limited by backoff), and once the peer comes up a
+// redial succeeds and is metered as a reconnect.
+func TestRedialWithBackoffRecovers(t *testing.T) {
+	// Reserve an address for peer 1 but leave it dead for now.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := ln.Addr().String()
+	ln.Close()
+
+	opts := Options{RedialBackoffMin: 5 * time.Millisecond, RedialBackoffMax: 20 * time.Millisecond}
+	tr, err := NewWithOptions(0, []string{"127.0.0.1:0", peerAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	for i := 0; i < 20; i++ {
+		tr.Send(0, 1, &wire.Message{Type: wire.TWrite})
+	}
+	if tr.Counters().Drops() != 20 {
+		t.Errorf("sends to dead peer: drops = %d, want 20", tr.Counters().Drops())
+	}
+	if tr.Counters().Reconnects() != 0 {
+		t.Errorf("reconnects = %d before peer exists", tr.Counters().Reconnects())
+	}
+
+	// Bring the peer up on the reserved address; backoff must expire and a
+	// redial deliver traffic.
+	peerTr, err := NewWithOptions(1, []string{tr.Addr(), peerAddr}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerTr.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Counters().Reconnects() == 0 && time.Now().Before(deadline) {
+		tr.Send(0, 1, &wire.Message{Type: wire.TWrite, SSN: 42})
+		time.Sleep(2 * time.Millisecond)
+	}
+	if tr.Counters().Reconnects() == 0 {
+		t.Fatal("no reconnect after peer came up")
+	}
+	got, ok := recvWithTimeout(t, peerTr, 1)
+	if !ok || got.SSN != 42 {
+		t.Fatalf("recovered link did not deliver: %+v ok=%v", got, ok)
+	}
+}
+
+// TestWriteFailureMetered: killing an established peer makes a subsequent
+// write fail, which must be metered as both a write failure and a drop.
+func TestWriteFailureMetered(t *testing.T) {
+	m, err := NewMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.Transports[0].Send(0, 1, &wire.Message{Type: wire.TWrite})
+	if _, ok := recvWithTimeout(t, m.Transports[1], 1); !ok {
+		t.Fatal("no delivery while peer alive")
+	}
+	m.Transports[1].Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	c := m.Transports[0].Counters()
+	for c.WriteFailures() == 0 && time.Now().Before(deadline) {
+		m.Transports[0].Send(0, 1, &wire.Message{Type: wire.TWrite})
+		time.Sleep(time.Millisecond)
+	}
+	if c.WriteFailures() == 0 {
+		t.Fatal("write to dead established conn never metered as write failure")
+	}
+	if c.Drops() == 0 {
+		t.Error("write failure not also counted as a loss")
 	}
 }
 

@@ -1,0 +1,87 @@
+// Package transporttest asserts that every netsim.Transport implementation
+// exhibits the *same* overload semantics: a bounded per-node inbox that
+// loses the oldest queued message when full (the paper's §2 bounded-capacity
+// lossy channels), with every loss metered as an eviction. The in-memory
+// simulator and the TCP transport both run this conformance suite, so the
+// two backends cannot silently diverge again (one blocking, one dropping).
+package transporttest
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/wire"
+)
+
+// OverloadDropOldest floods the link from→to with 3× the inbox capacity
+// while nothing drains the receiver, then asserts drop-oldest semantics:
+//
+//   - the sender is never blocked (the flood itself completes);
+//   - exactly total−capacity evictions are metered on the receiver's
+//     counters;
+//   - the surviving messages are precisely the *newest* capacity ones, in
+//     send order.
+//
+// sender is the transport Send is invoked on; receiver is the transport
+// whose Recv and Counters observe node `to` (the same object for the
+// simulator, the remote endpoint for TCP).
+func OverloadDropOldest(t *testing.T, sender, receiver netsim.Transport, from, to, capacity int) {
+	t.Helper()
+	total := capacity * 3
+
+	flooded := make(chan struct{})
+	go func() {
+		defer close(flooded)
+		for i := 0; i < total; i++ {
+			sender.Send(from, to, &wire.Message{Type: wire.TGossip, SNS: int64(i)})
+		}
+	}()
+	select {
+	case <-flooded:
+	case <-time.After(10 * time.Second):
+		t.Fatal("conformance: sender blocked by an undrained receiver (backpressure, not loss)")
+	}
+
+	// Delivery may be asynchronous (TCP read loop): wait for the expected
+	// eviction count to settle.
+	wantEvicted := int64(total - capacity)
+	deadline := time.Now().Add(5 * time.Second)
+	for receiver.Counters().Evictions() < wantEvicted && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := receiver.Counters().Evictions(); got != wantEvicted {
+		t.Fatalf("conformance: evictions = %d, want %d (total %d, capacity %d)", got, wantEvicted, total, capacity)
+	}
+
+	// The survivors must be exactly the newest `capacity` messages, FIFO.
+	for i := total - capacity; i < total; i++ {
+		m, ok := recvTimeout(t, receiver, to)
+		if !ok {
+			t.Fatalf("conformance: inbox exhausted at SNS %d", i)
+		}
+		if m.SNS != int64(i) {
+			t.Fatalf("conformance: survivor SNS = %d, want %d (drop-oldest violated)", m.SNS, i)
+		}
+	}
+}
+
+func recvTimeout(t *testing.T, tr netsim.Transport, id int) (*wire.Message, bool) {
+	t.Helper()
+	type res struct {
+		m  *wire.Message
+		ok bool
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, ok := tr.Recv(id)
+		ch <- res{m, ok}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("conformance: recv timeout")
+		return nil, false
+	}
+}
