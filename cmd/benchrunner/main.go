@@ -5,6 +5,7 @@
 //
 //	benchrunner -exp all          # every experiment, full parameter sweeps
 //	benchrunner -exp E3,E6 -quick # selected experiments, reduced sweeps
+//	benchrunner -exp all -json    # also write BENCH_<ID>.json per experiment
 //	benchrunner -list             # list the catalogue
 package main
 
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,9 +22,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (E1..E10) or 'all'")
-		quick = flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (E1..E10) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced parameter sweeps (seconds instead of minutes)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "write BENCH_<ID>.json per experiment (see -outdir)")
+		outDir  = flag.String("outdir", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -47,13 +51,42 @@ func main() {
 		}
 	}
 
+	if *jsonOut {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "outdir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	params := bench.Params{Quick: *quick}
 	for _, e := range selected {
 		start := time.Now()
 		tables := e.Run(params)
+		elapsed := time.Since(start)
 		for _, t := range tables {
 			fmt.Println(t.String())
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		if !*jsonOut {
+			continue
+		}
+		rep := &bench.Report{
+			Experiment: e.ID,
+			Title:      e.Title,
+			Quick:      *quick,
+			ElapsedMS:  elapsed.Milliseconds(),
+			Tables:     tables,
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, "BENCH_"+e.ID+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", path)
 	}
 }

@@ -72,6 +72,7 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 	}
 	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
 	nd.rb = rbcast.New(id, tr.N(), func(to int, m *wire.Message) { nd.rt.Send(to, m) }, nd.rbDeliver)
+	nd.rb.UseFanout(nd.rt.SendToMany) // marshal-once relay on capable transports
 	return nd
 }
 

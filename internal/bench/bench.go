@@ -26,13 +26,14 @@ type Params struct {
 	Quick bool
 }
 
-// Table is one regenerated result table (or figure summary).
+// Table is one regenerated result table (or figure summary). The JSON tags
+// define the schema of benchrunner's -json output (see Report).
 type Table struct {
-	ID      string
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends one formatted row.

@@ -290,9 +290,13 @@ func RunE9(p Params) []*Table {
 				break
 			}
 		}
-		// Wait for the reset machinery to settle.
+		// Wait for the overflow watcher to notice and the reset machinery to
+		// settle. The writes above pushed indices past MaxInt, so at least
+		// one reset is guaranteed — but on a fast transport the write loop
+		// can finish before the watcher's next tick, so wait for the reset
+		// itself, not merely for quiescence.
 		deadline := time.Now().Add(10 * time.Second)
-		for c.Bounded(0).ResetActive() && time.Now().Before(deadline) {
+		for (c.Bounded(0).Resets() == 0 || c.Bounded(0).ResetActive()) && time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}
 

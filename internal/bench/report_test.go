@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestReportRoundTrip: the -json output must survive a parse round-trip
+// unchanged, so downstream consumers and the regeneration tooling agree on
+// the schema.
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		Experiment: "E2",
+		Title:      "per-operation complexity",
+		Quick:      true,
+		ElapsedMS:  1234,
+		Tables: []*Table{{
+			ID:      "E2",
+			Title:   "per-operation complexity",
+			Headers: []string{"op", "messages", "bytes"},
+			Rows:    [][]string{{"write", "16", "4096"}, {"snapshot", "32", "8192"}},
+			Notes:   []string{"2n messages per write"},
+		}},
+	}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mutated the report:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// TestReportFromExperiment: a real (quick) experiment run must serialize to
+// valid JSON whose tables match what the run produced.
+func TestReportFromExperiment(t *testing.T) {
+	e, ok := Lookup("E2")
+	if !ok {
+		t.Fatal("E2 missing from catalogue")
+	}
+	tables := e.Run(Params{Quick: true})
+	r := &Report{Experiment: e.ID, Title: e.Title, Quick: true, Tables: tables}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatal("report is not valid JSON")
+	}
+	got, err := ParseReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != len(tables) {
+		t.Fatalf("round trip lost tables: %d != %d", len(got.Tables), len(tables))
+	}
+	for i := range tables {
+		if !reflect.DeepEqual(got.Tables[i].Rows, tables[i].Rows) {
+			t.Errorf("table %d rows mutated by round trip", i)
+		}
+	}
+}
+
+// TestParseReportRejectsGarbage: corrupted files must fail loudly, not
+// yield a zero report.
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,107 +1,109 @@
-// Package mailbox provides the bounded drop-oldest message queue both
-// transports use as their per-node inbox. It models the paper's §2
-// bounded-capacity communication channels: overload loses the *oldest*
-// queued message instead of blocking the sender or growing without bound,
-// and every loss is reported to the caller so it can be metered.
+// Package mailbox provides the bounded drop-oldest queue both transports
+// use as their per-node inbox — and, on the TCP transport, as the per-peer
+// outbound frame queue. It models the paper's §2 bounded-capacity
+// communication channels: overload loses the *oldest* queued element
+// instead of blocking the sender or growing without bound, and every loss
+// is reported to the caller so it can be metered.
 //
 // Extracting the queue into a shared package guarantees that the in-memory
 // simulator (netsim) and the TCP transport (tcpnet) exhibit identical
 // overload semantics — a property the shared conformance test in
-// internal/transporttest asserts against both.
+// internal/transporttest asserts against both. The queue is generic so the
+// same code bounds message inboxes (*wire.Message) and encoded frame
+// outboxes ([]byte).
 package mailbox
 
-import (
-	"sync"
+import "sync"
 
-	"selfstabsnap/internal/wire"
-)
-
-// Queue is a bounded FIFO of messages with blocking receive. When full, the
-// oldest message is discarded. The zero value is not usable; construct with
-// New. All methods are safe for concurrent use.
-type Queue struct {
+// Queue is a bounded FIFO with blocking receive. When full, the oldest
+// element is discarded. The zero value is not usable; construct with New.
+// All methods are safe for concurrent use.
+type Queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	buf    []*wire.Message
+	buf    []T
 	head   int
 	count  int
 	closed bool
 }
 
-// New creates a queue holding at most capacity messages (minimum 1).
-func New(capacity int) *Queue {
+// New creates a queue holding at most capacity elements (minimum 1).
+func New[T any](capacity int) *Queue[T] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	q := &Queue{buf: make([]*wire.Message, capacity)}
+	q := &Queue[T]{buf: make([]T, capacity)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// Push enqueues m, evicting the oldest entry if the queue is full. It
+// Push enqueues v, evicting the oldest entry if the queue is full. It
 // reports whether an eviction happened; pushes to a closed queue are
 // discarded and report false.
-func (q *Queue) Push(m *wire.Message) (evicted bool) {
+func (q *Queue[T]) Push(v T) (evicted bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
 	if q.count == len(q.buf) {
-		q.buf[q.head] = nil
+		var zero T
+		q.buf[q.head] = zero
 		q.head = (q.head + 1) % len(q.buf)
 		q.count--
 		evicted = true
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = m
+	q.buf[(q.head+q.count)%len(q.buf)] = v
 	q.count++
 	q.cond.Signal()
 	return evicted
 }
 
-// Pop blocks until a message is available or the queue is closed. After
-// close, buffered messages are still drained; ok is false once empty.
-func (q *Queue) Pop() (*wire.Message, bool) {
+// Pop blocks until an element is available or the queue is closed. After
+// close, buffered elements are still drained; ok is false once empty.
+func (q *Queue[T]) Pop() (T, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.count == 0 && !q.closed {
 		q.cond.Wait()
 	}
+	var zero T
 	if q.count == 0 {
-		return nil, false
+		return zero, false
 	}
-	m := q.buf[q.head]
-	q.buf[q.head] = nil
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
-	return m, true
+	return v, true
 }
 
-// Drain discards all queued messages (used when a node crashes with a
+// Drain discards all queued elements (used when a node crashes with a
 // detectable restart: its channel content is lost).
-func (q *Queue) Drain() {
+func (q *Queue[T]) Drain() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	var zero T
 	for i := range q.buf {
-		q.buf[i] = nil
+		q.buf[i] = zero
 	}
 	q.head, q.count = 0, 0
 }
 
 // Close wakes all receivers; subsequent Pops return false once empty.
-func (q *Queue) Close() {
+func (q *Queue[T]) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
 }
 
-// Len returns the number of queued messages.
-func (q *Queue) Len() int {
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.count
 }
 
 // Cap returns the queue's fixed capacity.
-func (q *Queue) Cap() int { return len(q.buf) }
+func (q *Queue[T]) Cap() int { return len(q.buf) }

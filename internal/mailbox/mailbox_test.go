@@ -11,7 +11,7 @@ import (
 func msg(ssn int64) *wire.Message { return &wire.Message{Type: wire.TGossip, SSN: ssn} }
 
 func TestFIFO(t *testing.T) {
-	q := New(4)
+	q := New[*wire.Message](4)
 	for i := int64(0); i < 3; i++ {
 		if q.Push(msg(i)) {
 			t.Fatalf("push %d evicted below capacity", i)
@@ -26,7 +26,7 @@ func TestFIFO(t *testing.T) {
 }
 
 func TestDropOldestOnOverflow(t *testing.T) {
-	q := New(3)
+	q := New[*wire.Message](3)
 	evictions := 0
 	for i := int64(0); i < 10; i++ {
 		if q.Push(msg(i)) {
@@ -48,7 +48,7 @@ func TestDropOldestOnOverflow(t *testing.T) {
 }
 
 func TestMinimumCapacity(t *testing.T) {
-	q := New(0)
+	q := New[*wire.Message](0)
 	if q.Cap() != 1 {
 		t.Fatalf("cap = %d, want clamped 1", q.Cap())
 	}
@@ -62,7 +62,7 @@ func TestMinimumCapacity(t *testing.T) {
 }
 
 func TestDrain(t *testing.T) {
-	q := New(8)
+	q := New[*wire.Message](8)
 	q.Push(msg(1))
 	q.Push(msg(2))
 	q.Drain()
@@ -76,7 +76,7 @@ func TestDrain(t *testing.T) {
 }
 
 func TestCloseDrainsThenReportsClosed(t *testing.T) {
-	q := New(8)
+	q := New[*wire.Message](8)
 	q.Push(msg(1))
 	q.Close()
 	if m, ok := q.Pop(); !ok || m.SSN != 1 {
@@ -94,7 +94,7 @@ func TestCloseDrainsThenReportsClosed(t *testing.T) {
 }
 
 func TestCloseUnblocksPop(t *testing.T) {
-	q := New(4)
+	q := New[*wire.Message](4)
 	done := make(chan bool, 1)
 	go func() {
 		_, ok := q.Pop()
@@ -113,7 +113,7 @@ func TestCloseUnblocksPop(t *testing.T) {
 }
 
 func TestConcurrentPushPop(t *testing.T) {
-	q := New(64)
+	q := New[*wire.Message](64)
 	const producers, per = 4, 500
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {

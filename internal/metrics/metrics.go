@@ -44,6 +44,22 @@ func (c *Counters) RecordSend(t wire.Type, n int) {
 	c.bytes[t].Add(int64(n))
 }
 
+// RecordSendMany accounts `count` transmitted messages of type t, each of
+// size n bytes — exactly equivalent to count calls to RecordSend(t, n), but
+// with two atomic adds instead of 2·count. The broadcast fast path uses it:
+// marshal-once fan-out still meters one send per (from, to) pair.
+func (c *Counters) RecordSendMany(t wire.Type, count, n int) {
+	if count <= 0 {
+		return
+	}
+	if !c.inRange(t) {
+		c.invalidTypes.Add(int64(count))
+		return
+	}
+	c.msgs[t].Add(int64(count))
+	c.bytes[t].Add(int64(count) * int64(n))
+}
+
 // RecordDrop accounts one message lost by the adversary (or, on the TCP
 // transport, by a failed write or unreachable peer).
 func (c *Counters) RecordDrop() { c.drops.Add(1) }

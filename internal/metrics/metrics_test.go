@@ -28,6 +28,34 @@ func TestCountersBasic(t *testing.T) {
 	}
 }
 
+// TestRecordSendManyEquivalence: the batched meter must be arithmetically
+// indistinguishable from the per-recipient one — the fan-out fast path
+// still accounts one send per (from, to) pair.
+func TestRecordSendManyEquivalence(t *testing.T) {
+	var batched, looped Counters
+	batched.RecordSendMany(wire.TSnapshot, 16, 512)
+	for i := 0; i < 16; i++ {
+		looped.RecordSend(wire.TSnapshot, 512)
+	}
+	if batched.Messages(wire.TSnapshot) != looped.Messages(wire.TSnapshot) {
+		t.Errorf("messages diverge: %d != %d", batched.Messages(wire.TSnapshot), looped.Messages(wire.TSnapshot))
+	}
+	if batched.Bytes(wire.TSnapshot) != looped.Bytes(wire.TSnapshot) {
+		t.Errorf("bytes diverge: %d != %d", batched.Bytes(wire.TSnapshot), looped.Bytes(wire.TSnapshot))
+	}
+
+	var c Counters
+	c.RecordSendMany(wire.TWrite, 0, 99)
+	c.RecordSendMany(wire.TWrite, -3, 99)
+	if c.TotalMessages() != 0 {
+		t.Error("non-positive counts must meter nothing")
+	}
+	c.RecordSendMany(wire.Type(63+1), 4, 10) // out of range: counted as invalid
+	if c.InvalidTypes() != 4 || c.TotalMessages() != 0 {
+		t.Errorf("out-of-range type: invalid=%d total=%d", c.InvalidTypes(), c.TotalMessages())
+	}
+}
+
 func TestTransportCounters(t *testing.T) {
 	var c Counters
 	c.RecordEviction()

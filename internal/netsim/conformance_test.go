@@ -16,3 +16,32 @@ func TestOverloadConformance(t *testing.T) {
 	defer n.Close()
 	transporttest.OverloadDropOldest(t, n, n, 0, 1, capacity)
 }
+
+// TestOverloadConformanceSendMany asserts overload behaviour is identical
+// when the channel is filled through the SendMany fast path.
+func TestOverloadConformanceSendMany(t *testing.T) {
+	const capacity = 16
+	n := netsim.New(netsim.Config{N: 2, Seed: 1, InboxCap: capacity})
+	defer n.Close()
+	transporttest.OverloadDropOldestMany(t, n, n, 0, 1, capacity)
+}
+
+// TestSendManyEquivalenceConformance asserts SendMany ≡ a Send loop on the
+// simulator: same deliveries, same envelopes, same metering.
+func TestSendManyEquivalenceConformance(t *testing.T) {
+	n := netsim.New(netsim.Config{N: 5, Seed: 1})
+	defer n.Close()
+	self := func(int) netsim.Transport { return n }
+	// Broadcast shape: the sender is among the recipients.
+	transporttest.SendManyEquivalence(t, n, self, 0, []int{0, 1, 2, 3, 4})
+}
+
+// TestConcurrentFanoutConformance exercises the copy-on-write sharing of
+// broadcast fan-out under the race detector: all recipients read their
+// deliveries while the sender keeps broadcasting and mutating its message.
+func TestConcurrentFanoutConformance(t *testing.T) {
+	n := netsim.New(netsim.Config{N: 4, Seed: 1, InboxCap: 4096})
+	defer n.Close()
+	self := func(int) netsim.Transport { return n }
+	transporttest.ConcurrentFanout(t, n, self, 0, []int{0, 1, 2, 3}, 200)
+}

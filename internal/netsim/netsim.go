@@ -41,6 +41,19 @@ type Transport interface {
 	Close()
 }
 
+// ManySender is an optional Transport fast path for broadcast fan-out:
+// SendMany(from, to, m) must be observationally equivalent to calling
+// Send(from, k, m) for each k in to — same deliveries, same metering (one
+// RecordSend per (from, to) pair), same adversary treatment per recipient —
+// but may share one payload copy (or one encoding) across all recipients.
+// The sharing is safe because receivers treat arriving messages as
+// immutable, a contract internal/transporttest enforces under the race
+// detector. Node runtimes type-assert for this interface and fall back to a
+// Send loop when it is absent.
+type ManySender interface {
+	SendMany(from int, to []int, m *wire.Message)
+}
+
 // Adversary configures the packet-level misbehaviour of every link.
 // The zero value is a perfect network with instantaneous delivery: no
 // drops, no duplicates, and both delay bounds zero.
@@ -100,14 +113,20 @@ type TraceHook interface {
 // Network is the in-memory simulated transport.
 type Network struct {
 	cfg      Config
-	inboxes  []*mailbox.Queue
+	inboxes  []*mailbox.Queue[*wire.Message]
 	counters metrics.Counters
 
 	mu      sync.Mutex
-	rng     *rand.Rand
 	blocked map[[2]int]bool // directed partition cuts
 	seq     uint64
 	closed  bool
+
+	// The adversary's RNG has its own lock so random draws never extend the
+	// global critical section: n.mu is held only for the blocked/seq/closed
+	// check, and concurrent senders contend on rngMu alone (not at all when
+	// the adversary is inactive).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// Delayed-delivery scheduler: one goroutine per network drains a
 	// min-heap of pending packets (see scheduler.go).
@@ -133,9 +152,9 @@ func New(cfg Config) *Network {
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
-	n.inboxes = make([]*mailbox.Queue, cfg.N)
+	n.inboxes = make([]*mailbox.Queue[*wire.Message], cfg.N)
 	for i := range n.inboxes {
-		n.inboxes[i] = mailbox.New(cfg.InboxCap)
+		n.inboxes[i] = mailbox.New[*wire.Message](cfg.InboxCap)
 	}
 	n.loopWg.Add(1)
 	go n.deliveryLoop()
@@ -148,6 +167,61 @@ func (n *Network) N() int { return n.cfg.N }
 // Counters exposes the traffic meters.
 func (n *Network) Counters() *metrics.Counters { return &n.counters }
 
+// admit checks closed/blocked state and allocates a transport sequence
+// number for one (from, to) transmission. It holds n.mu only for that — no
+// RNG draws, no cloning, no metering happens under the global lock.
+func (n *Network) admit(from, to int) (seq uint64, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.blocked[[2]int{from, to}] {
+		return 0, false
+	}
+	n.seq++
+	return n.seq, true
+}
+
+// adversaryDraw samples one transmission's fate: how many copies arrive
+// (0 = dropped, 2 = duplicated) and each copy's delivery delay. When the
+// adversary is inactive the RNG is not consulted at all, so concurrent
+// senders on a perfect network synchronize only on admit's short critical
+// section. delays has room for the duplicated copy; only delays[:copies]
+// is meaningful.
+func (n *Network) adversaryDraw() (copies int, delays [2]time.Duration) {
+	a := n.cfg.Adversary
+	if a.DropProb == 0 && a.DupProb == 0 && a.MaxDelay <= a.MinDelay {
+		return 1, [2]time.Duration{a.MinDelay, a.MinDelay}
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	copies = 1
+	if a.DropProb > 0 && n.rng.Float64() < a.DropProb {
+		copies = 0
+	} else if a.DupProb > 0 && n.rng.Float64() < a.DupProb {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		delays[i] = a.delay(n.rng)
+	}
+	return copies, delays
+}
+
+// dispatch routes one envelope (and its adversarial duplicate, if any) to
+// node to's inbox, immediately or through the delay scheduler. Duplicates
+// share the payload copy-on-write: receivers never mutate arrivals.
+func (n *Network) dispatch(from, to int, env *wire.Message, copies int, delays [2]time.Duration) {
+	for i := 0; i < copies; i++ {
+		dup := env
+		if i > 0 {
+			dup = env.ShallowClone()
+		}
+		if delays[i] <= 0 {
+			n.deliver(from, to, dup)
+			continue
+		}
+		n.schedule(time.Now().Add(delays[i]), from, to, dup)
+	}
+}
+
 // Send transmits a deep copy of m, subject to the adversary: the copy may be
 // dropped, duplicated, and delayed (delays reorder messages relative to each
 // other). Sending to self is delivered like any other message, as in the
@@ -156,44 +230,74 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 	if to < 0 || to >= n.cfg.N {
 		return
 	}
-	n.mu.Lock()
-	if n.closed || n.blocked[[2]int{from, to}] {
-		n.mu.Unlock()
+	seq, ok := n.admit(from, to)
+	if !ok {
 		return
 	}
-	n.seq++
-	copies := 1
-	if n.cfg.Adversary.DropProb > 0 && n.rng.Float64() < n.cfg.Adversary.DropProb {
-		copies = 0
+	copies, delays := n.adversaryDraw()
+	switch copies {
+	case 0:
 		n.counters.RecordDrop()
-	} else if n.cfg.Adversary.DupProb > 0 && n.rng.Float64() < n.cfg.Adversary.DupProb {
-		copies = 2
+	case 2:
 		n.counters.RecordDup()
 	}
-	delays := make([]time.Duration, copies)
-	for i := range delays {
-		delays[i] = n.cfg.Adversary.delay(n.rng)
-	}
-	seq := n.seq
-	n.mu.Unlock()
 
+	// A send is metered even when the adversary loses it: the paper counts
+	// transmissions, and losses surface separately as drops.
+	if copies == 0 && n.cfg.Trace == nil {
+		n.counters.RecordSend(m.Type, m.Size())
+		return
+	}
 	c := m.Clone()
 	c.From, c.To, c.Seq = int32(from), int32(to), seq
 	n.counters.RecordSend(c.Type, c.Size())
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.OnSend(from, to, c, time.Now())
 	}
+	n.dispatch(from, to, c, copies, delays)
+}
 
-	for _, d := range delays {
-		dup := c
-		if len(delays) > 1 {
-			dup = c.Clone()
-		}
-		if d <= 0 {
-			n.deliver(from, to, dup)
+// SendMany transmits m from node `from` to every node in `to`, equivalently
+// to a Send loop but with one deep copy shared across all recipients:
+// each recipient gets its own envelope (From/To/Seq) via ShallowClone while
+// the payload slices are shared copy-on-write. Metering is identical to the
+// Send loop — one send of m.Size() bytes recorded per recipient, and each
+// recipient is admitted, adversary-sampled, and traced independently.
+func (n *Network) SendMany(from int, to []int, m *wire.Message) {
+	if len(to) == 0 {
+		return
+	}
+	master := m.Clone()
+	size := master.Size()
+	sent := 0
+	for _, k := range to {
+		if k < 0 || k >= n.cfg.N {
 			continue
 		}
-		n.schedule(time.Now().Add(d), from, to, dup)
+		seq, ok := n.admit(from, k)
+		if !ok {
+			continue
+		}
+		sent++
+		copies, delays := n.adversaryDraw()
+		switch copies {
+		case 0:
+			n.counters.RecordDrop()
+		case 2:
+			n.counters.RecordDup()
+		}
+		if copies == 0 && n.cfg.Trace == nil {
+			continue
+		}
+		env := master.ShallowClone()
+		env.From, env.To, env.Seq = int32(from), int32(k), seq
+		if n.cfg.Trace != nil {
+			n.cfg.Trace.OnSend(from, k, env, time.Now())
+		}
+		n.dispatch(from, k, env, copies, delays)
+	}
+	if sent > 0 {
+		n.counters.RecordSendMany(m.Type, sent, size)
 	}
 }
 
@@ -271,4 +375,7 @@ func (n *Network) Close() {
 	}
 }
 
-var _ Transport = (*Network)(nil)
+var (
+	_ Transport  = (*Network)(nil)
+	_ ManySender = (*Network)(nil)
+)

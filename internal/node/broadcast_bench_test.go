@@ -1,0 +1,97 @@
+package node_test
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/tcpnet"
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+// noopAlg is the minimal Algorithm: the benchmarks below measure the send
+// path only, so arriving messages are left to pile up in the bounded
+// inboxes (drop-oldest keeps that O(1) per message).
+type noopAlg struct{}
+
+func (noopAlg) HandleMessage(*wire.Message) {}
+func (noopAlg) Tick()                       {}
+
+// benchBroadcastMessage builds the paper's worst-case payload: a full
+// RegVector of n entries of ν bytes each — O(ν·n) bits, the size class
+// every WRITE/SNAPSHOT broadcast carries.
+func benchBroadcastMessage(n, nu int) *wire.Message {
+	reg := make(types.RegVector, n)
+	for i := range reg {
+		reg[i] = types.TSValue{TS: int64(i + 1), Val: make(types.Value, nu)}
+	}
+	return &wire.Message{Type: wire.TSnapshot, SSN: 42, Reg: reg}
+}
+
+const (
+	benchNodes = 16
+	benchNu    = 64
+)
+
+// BenchmarkBroadcast measures one 16-node broadcast of a ν=64 RegVector
+// message on both transports — the hot path behind every E-series
+// message/bit-complexity experiment.
+func BenchmarkBroadcast(b *testing.B) {
+	b.Run("netsim", func(b *testing.B) {
+		net := netsim.New(netsim.Config{N: benchNodes, Seed: 1})
+		defer net.Close()
+		rt := node.NewRuntime(0, net, noopAlg{}, node.Options{})
+		m := benchBroadcastMessage(benchNodes, benchNu)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Broadcast(m)
+		}
+	})
+	b.Run("tcpnet", func(b *testing.B) {
+		mesh, err := tcpnet.NewMesh(benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer mesh.Close()
+		rt := node.NewRuntime(0, mesh.Transports[0], noopAlg{}, node.Options{})
+		m := benchBroadcastMessage(benchNodes, benchNu)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Broadcast(m)
+		}
+	})
+}
+
+// BenchmarkGossip measures the do-forever loop's gossip fan-out when the
+// builder hands the same message to every peer (the reliable-broadcast
+// relay pattern), which the runtime may fan out marshal-once.
+func BenchmarkGossip(b *testing.B) {
+	b.Run("netsim", func(b *testing.B) {
+		net := netsim.New(netsim.Config{N: benchNodes, Seed: 1})
+		defer net.Close()
+		rt := node.NewRuntime(0, net, noopAlg{}, node.Options{})
+		m := benchBroadcastMessage(benchNodes, benchNu)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.GossipTo(func(k int) *wire.Message { return m })
+		}
+	})
+	b.Run("tcpnet", func(b *testing.B) {
+		mesh, err := tcpnet.NewMesh(benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer mesh.Close()
+		rt := node.NewRuntime(0, mesh.Transports[0], noopAlg{}, node.Options{})
+		m := benchBroadcastMessage(benchNodes, benchNu)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.GossipTo(func(k int) *wire.Message { return m })
+		}
+	})
+}

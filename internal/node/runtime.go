@@ -88,6 +88,13 @@ type Runtime struct {
 
 	loopCount  atomic.Int64
 	tickActive atomic.Bool
+
+	// Broadcast fast path, resolved once at construction: the transport's
+	// optional SendMany implementation (nil if absent) and the precomputed
+	// recipient sets, so the hot path allocates neither.
+	many   netsim.ManySender
+	allTo  []int // 0..n-1: broadcast includes the sender
+	peerTo []int // 0..n-1 minus self: gossip excludes the sender
 }
 
 // NewRuntime creates a runtime for node id over tr running alg. Start must
@@ -103,6 +110,15 @@ func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runti
 		closeCh: make(chan struct{}),
 	}
 	r.collector.calls = make(map[uint64]*call)
+	r.many, _ = tr.(netsim.ManySender)
+	r.allTo = make([]int, r.n)
+	r.peerTo = make([]int, 0, r.n-1)
+	for k := 0; k < r.n; k++ {
+		r.allTo[k] = k
+		if k != id {
+			r.peerTo = append(r.peerTo, k)
+		}
+	}
 	return r
 }
 
@@ -263,9 +279,14 @@ func (r *Runtime) Send(to int, m *wire.Message) {
 
 // Broadcast sends a fresh copy of m to every node, including the sender
 // itself, as in the paper's "broadcast" which the sending node also
-// receives.
+// receives. On transports implementing netsim.ManySender the payload is
+// copied (or marshalled) once and fanned out, instead of once per node.
 func (r *Runtime) Broadcast(m *wire.Message) {
 	if r.Crashed() {
+		return
+	}
+	if r.many != nil {
+		r.many.SendMany(r.id, r.allTo, m)
 		return
 	}
 	for k := 0; k < r.n; k++ {
@@ -273,17 +294,66 @@ func (r *Runtime) Broadcast(m *wire.Message) {
 	}
 }
 
-// GossipTo sends m to every node except the sender (Algorithm 1 line 11).
+// SendToMany transmits m to every node in to, using the transport's
+// fan-out fast path when available. Equivalent to calling Send per
+// recipient; used by layers (e.g. the reliable-broadcast relay) that fan
+// the same message out to an explicit recipient set.
+func (r *Runtime) SendToMany(to []int, m *wire.Message) {
+	if r.Crashed() {
+		return
+	}
+	if r.many != nil {
+		r.many.SendMany(r.id, to, m)
+		return
+	}
+	for _, k := range to {
+		r.tr.Send(r.id, k, m)
+	}
+}
+
+// GossipTo sends build(k) to every node k except the sender (Algorithm 1
+// line 11). Builders commonly return the same *wire.Message for every
+// peer (state gossip reflects the sender's state, not the recipient); when
+// the transport supports fan-out, maximal runs of consecutive identical
+// pointers are detected and sent marshal-once. Per-recipient messages are
+// sent individually, as before.
 func (r *Runtime) GossipTo(build func(k int) *wire.Message) {
 	if r.Crashed() {
 		return
 	}
-	for k := 0; k < r.n; k++ {
-		if k == r.id {
+	if r.many == nil {
+		for _, k := range r.peerTo {
+			if m := build(k); m != nil {
+				r.tr.Send(r.id, k, m)
+			}
+		}
+		return
+	}
+	// Group consecutive peers whose builder returned the same pointer.
+	var run []int // borrowed scratch; SendMany does not retain it
+	var cur *wire.Message
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		if len(run) == 1 {
+			r.tr.Send(r.id, run[0], cur)
+		} else {
+			r.many.SendMany(r.id, run, cur)
+		}
+		run, cur = run[:0], nil
+	}
+	for _, k := range r.peerTo {
+		m := build(k)
+		if m == nil {
+			flush()
 			continue
 		}
-		if m := build(k); m != nil {
-			r.tr.Send(r.id, k, m)
+		if m != cur {
+			flush()
+			cur = m
 		}
+		run = append(run, k)
 	}
+	flush()
 }

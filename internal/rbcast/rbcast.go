@@ -39,10 +39,11 @@ type pendingBcast struct {
 
 // RB is one node's reliable-broadcast endpoint.
 type RB struct {
-	id      int
-	n       int
-	send    func(to int, m *wire.Message)
-	deliver func(inner *wire.Message)
+	id       int
+	n        int
+	send     func(to int, m *wire.Message)
+	sendMany func(to []int, m *wire.Message) // optional fan-out (see UseFanout)
+	deliver  func(inner *wire.Message)
 
 	mu        sync.Mutex
 	nextTag   uint64
@@ -62,6 +63,15 @@ func New(id, n int, send func(to int, m *wire.Message), deliver func(inner *wire
 		delivered: make(map[key]struct{}),
 		pending:   make(map[key]*pendingBcast),
 	}
+}
+
+// UseFanout installs an optional batched sender: transmit hands a whole
+// recipient set to sendMany (e.g. node.Runtime.SendToMany, which marshals
+// the envelope once per fan-out on capable transports) instead of calling
+// send once per peer. Must be called before the endpoint is used; sendMany
+// must be observationally equivalent to calling send for each recipient.
+func (r *RB) UseFanout(sendMany func(to []int, m *wire.Message)) {
+	r.sendMany = sendMany
 }
 
 // Broadcast reliably broadcasts inner to all nodes, delivering locally
@@ -155,6 +165,22 @@ func (r *RB) Tick() {
 }
 
 func (r *RB) transmit(env *wire.Message, skip map[int32]struct{}) {
+	if r.sendMany != nil {
+		to := make([]int, 0, r.n-1)
+		for k := 0; k < r.n; k++ {
+			if k == r.id {
+				continue
+			}
+			if _, s := skip[int32(k)]; s {
+				continue
+			}
+			to = append(to, k)
+		}
+		if len(to) > 0 {
+			r.sendMany(to, env)
+		}
+		return
+	}
 	for k := 0; k < r.n; k++ {
 		if k == r.id {
 			continue

@@ -3,7 +3,15 @@ package tcpnet
 import (
 	"testing"
 
+	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/transporttest"
+)
+
+// The TCP transport must satisfy the same interfaces the simulator does,
+// including the broadcast fan-out fast path.
+var (
+	_ netsim.Transport  = (*Transport)(nil)
+	_ netsim.ManySender = (*Transport)(nil)
 )
 
 // TestOverloadConformance runs the shared drop-oldest overload suite
@@ -17,4 +25,43 @@ func TestOverloadConformance(t *testing.T) {
 	}
 	defer m.Close()
 	transporttest.OverloadDropOldest(t, m.Transports[0], m.Transports[1], 0, 1, capacity)
+}
+
+// TestOverloadConformanceSendMany asserts overload behaviour is identical
+// when the channel is filled through the marshal-once SendMany path.
+func TestOverloadConformanceSendMany(t *testing.T) {
+	const capacity = 16
+	m, err := NewMeshWithOptions(2, Options{InboxCap: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	transporttest.OverloadDropOldestMany(t, m.Transports[0], m.Transports[1], 0, 1, capacity)
+}
+
+// TestSendManyEquivalenceConformance asserts SendMany ≡ a Send loop over
+// real sockets: same deliveries, same envelopes (the receiver stamps To,
+// so the shared frame is invisible), same metering.
+func TestSendManyEquivalenceConformance(t *testing.T) {
+	m, err := NewMesh(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	endpoint := func(k int) netsim.Transport { return m.Transports[k] }
+	// Broadcast shape: the sender is among the recipients (loopback).
+	transporttest.SendManyEquivalence(t, m.Transports[0], endpoint, 0, []int{0, 1, 2, 3, 4})
+}
+
+// TestConcurrentFanoutConformance exercises frame sharing across per-peer
+// outboxes under the race detector: all recipients read their deliveries
+// while the sender keeps broadcasting and mutating its message.
+func TestConcurrentFanoutConformance(t *testing.T) {
+	m, err := NewMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	endpoint := func(k int) netsim.Transport { return m.Transports[k] }
+	transporttest.ConcurrentFanout(t, m.Transports[0], endpoint, 0, []int{0, 1, 2, 3}, 200)
 }

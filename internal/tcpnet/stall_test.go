@@ -1,0 +1,77 @@
+package tcpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/types"
+	"selfstabsnap/internal/wire"
+)
+
+// TestStalledPeerDoesNotBlockSend: a peer that accepts connections but
+// never reads eventually zero-windows the TCP connection, blocking the
+// writer goroutine in conn.Write. Send and SendMany must stay prompt
+// regardless — frames pile into the bounded outbox and the overflow
+// surfaces as sender-side evictions, never as caller latency. This is the
+// regression test for the old synchronous send path, where every caller
+// paid up to WriteTimeout for a stalled peer.
+func TestStalledPeerDoesNotBlockSend(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 8)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn // hold the connection open, never read it
+		}
+	}()
+	defer func() {
+		for {
+			select {
+			case c := <-accepted:
+				c.Close()
+			default:
+				return
+			}
+		}
+	}()
+
+	tr, err := NewWithOptions(0, []string{"127.0.0.1:0", ln.Addr().String()}, Options{OutboxCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// ~64 KiB per frame: enough volume to fill the socket buffers and jam
+	// the writer in conn.Write long before the sends are done.
+	big := &wire.Message{Type: wire.TWrite, Reg: types.RegVector{{TS: 1, Val: make(types.Value, 64<<10)}}}
+	const sends = 200
+	var worst time.Duration
+	for i := 0; i < sends; i++ {
+		start := time.Now()
+		if i%2 == 0 {
+			tr.Send(0, 1, big)
+		} else {
+			tr.SendMany(0, []int{1}, big)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	if worst > 10*time.Millisecond {
+		t.Fatalf("send to a stalled peer took %v, want <10ms (outbox must absorb the stall)", worst)
+	}
+	if tr.Counters().Evictions() == 0 {
+		t.Error("stalled peer produced no sender-side outbox evictions")
+	}
+	if got := tr.Counters().TotalMessages(); got != sends {
+		t.Errorf("metered %d sends, want %d (metering happens at serialization, not delivery)", got, sends)
+	}
+}

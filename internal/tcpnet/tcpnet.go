@@ -17,8 +17,13 @@
 //     a stalled or slow receiver loses the *oldest* queued messages —
 //     metered as evictions — instead of exerting backpressure on senders,
 //     which would violate the model's bounded-capacity lossy channels;
+//   - the send path is asynchronous: Send serializes the frame and hands it
+//     to a per-peer writer goroutine through a bounded drop-oldest outbox,
+//     so a stalled TCP peer (zero-window, mid-dial, dead) costs the sender
+//     an eviction counter, never a blocking conn.Write — the paper's
+//     never-blocking sends;
 //   - failed peers are re-dialed with exponential backoff plus jitter, so
-//     a dead peer costs one cheap in-memory check per send instead of a
+//     a dead peer costs one cheap in-memory check per frame instead of a
 //     synchronous dial.
 package tcpnet
 
@@ -45,6 +50,11 @@ type Options struct {
 	// InboxCap bounds the receive queue (drop-oldest on overflow;
 	// default 4096) — the same bounded channel capacity as netsim.
 	InboxCap int
+	// OutboxCap bounds each peer's outbound frame queue (drop-oldest on
+	// overflow, metered as evictions; default 4096). Together with the
+	// per-peer writer goroutines this keeps Send non-blocking: a stalled
+	// peer overflows its outbox instead of stalling the caller.
+	OutboxCap int
 	// DialTimeout bounds each connection attempt (default 1s).
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write (default 2s).
@@ -59,6 +69,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.InboxCap <= 0 {
 		o.InboxCap = 4096
+	}
+	if o.OutboxCap <= 0 {
+		o.OutboxCap = 4096
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = time.Second
@@ -78,10 +91,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// peer is the outbound side of one link: its connection (if up) and the
-// redial backoff state. Its mutex also serializes frame writes, so
-// concurrent Sends cannot interleave partial frames on one socket.
+// peer is the outbound side of one link: a bounded drop-oldest queue of
+// encoded frames drained by a dedicated writer goroutine, plus the
+// connection (if up) and its redial backoff state. Only the writer dials
+// and writes, so senders never touch the socket; the mutex exists so
+// signalClose can yank the connection out from under a blocked write.
 type peer struct {
+	outbox *mailbox.Queue[[]byte] // nil for the self peer (loopback skips sockets)
+
 	mu       sync.Mutex
 	conn     net.Conn
 	backoff  time.Duration
@@ -105,7 +122,7 @@ type Transport struct {
 	accepted map[net.Conn]struct{} // inbound conns, closed on shutdown
 
 	peers []*peer
-	inbox *mailbox.Queue
+	inbox *mailbox.Queue[*wire.Message]
 	wg    sync.WaitGroup
 }
 
@@ -135,10 +152,16 @@ func NewWithOptions(self int, addrs []string, opts Options) (*Transport, error) 
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(self)<<32)),
 		accepted: make(map[net.Conn]struct{}),
 		peers:    make([]*peer, len(addrs)),
-		inbox:    mailbox.New(opts.InboxCap),
+		inbox:    mailbox.New[*wire.Message](opts.InboxCap),
 	}
 	for i := range t.peers {
 		t.peers[i] = &peer{}
+		if i == self {
+			continue // loopback never goes through a socket
+		}
+		t.peers[i].outbox = mailbox.New[[]byte](opts.OutboxCap)
+		t.wg.Add(1)
+		go t.writeLoop(t.peers[i], i)
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -203,6 +226,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // corrupted frame; self-stabilization demands we drop, not crash
 		}
+		// The receiver stamps the destination: broadcast frames are
+		// marshalled once and shared across all peers, so the wire To field
+		// is not per-recipient. A frame that arrived here is, by
+		// construction, addressed to this node.
+		m.To = int32(t.self)
 		t.accept(m)
 	}
 }
@@ -216,28 +244,112 @@ func (t *Transport) accept(m *wire.Message) {
 	}
 }
 
-// Send implements netsim.Transport. from must be this node's id. A message
-// that cannot be delivered (transport closed, peer unreachable or in dial
-// backoff, write failure) is dropped and metered, never blocks the caller
-// beyond the configured dial/write timeouts.
+// encodeFrame builds a length-prefixed wire frame (4-byte little-endian
+// payload length, then the payload) in a single allocation, sized exactly
+// by m.Size().
+func encodeFrame(m *wire.Message) []byte {
+	n := m.Size()
+	b := make([]byte, 4, 4+n)
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	return wire.AppendMarshal(b, m)
+}
+
+// Send implements netsim.Transport. from must be this node's id. The frame
+// is serialized synchronously (so the caller may keep mutating m) and
+// queued to the peer's writer goroutine — Send itself never performs
+// network I/O and never blocks. A message that cannot be delivered
+// (transport closed, outbox overflow, peer unreachable or in dial backoff,
+// write failure) is lost and metered, matching the simulator's lossy
+// bounded-capacity channels. Sends are metered at serialization time — a
+// transmission is counted even if the frame is later lost, exactly as the
+// simulator meters sends the adversary drops.
 func (t *Transport) Send(from, to int, m *wire.Message) {
 	if from != t.self || to < 0 || to >= len(t.addrs) {
 		return
 	}
-	c := m.Clone()
-	c.From, c.To = int32(from), int32(to)
 	if to == t.self {
-		// Loopback delivery without a socket.
+		// Loopback delivery without a socket. Size() is exactly the
+		// marshalled payload length, so loopback and socket sends meter
+		// identically.
+		c := m.Clone()
+		c.From, c.To = int32(from), int32(to)
 		t.counters.RecordSend(c.Type, c.Size())
 		t.accept(c)
 		return
 	}
-	payload := wire.Marshal(c)
-	frame := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	env := m.ShallowClone()
+	env.From, env.To = int32(from), int32(to)
+	frame := encodeFrame(env)
+	t.counters.RecordSend(env.Type, len(frame)-4)
+	t.enqueueFrame(to, frame)
+}
 
-	p := t.peers[to]
+// SendMany implements the netsim.ManySender broadcast fast path: the frame
+// is marshalled once and the same backing slice is queued to every
+// recipient's writer (writers only read frames, so sharing is safe). The
+// shared frame cannot carry a per-recipient To, so it is stamped with -1
+// and the receiving transport rewrites To on arrival — as every readLoop
+// does for all frames. Metering is identical to a Send loop: one send of
+// the payload size per recipient.
+func (t *Transport) SendMany(from int, to []int, m *wire.Message) {
+	if from != t.self {
+		return
+	}
+	var frame []byte
+	sent := 0
+	for _, k := range to {
+		if k < 0 || k >= len(t.addrs) {
+			continue
+		}
+		if k == t.self {
+			c := m.Clone()
+			c.From, c.To = int32(from), int32(t.self)
+			t.counters.RecordSend(c.Type, c.Size())
+			t.accept(c)
+			continue
+		}
+		if frame == nil {
+			env := m.ShallowClone()
+			env.From, env.To = int32(from), -1 // To is stamped by the receiver
+			frame = encodeFrame(env)
+		}
+		t.enqueueFrame(k, frame)
+		sent++
+	}
+	if sent > 0 {
+		t.counters.RecordSendMany(m.Type, sent, len(frame)-4)
+	}
+}
+
+// enqueueFrame hands a frame to peer to's writer goroutine. An overflowing
+// outbox loses its oldest frame — the sender-side half of the model's
+// bounded-capacity channel — metered as an eviction.
+func (t *Transport) enqueueFrame(to int, frame []byte) {
+	if t.peers[to].outbox.Push(frame) {
+		t.counters.RecordEviction()
+	}
+}
+
+// writeLoop is peer to's writer goroutine: it drains the outbox and writes
+// each frame to the connection, dialing as needed. All blocking I/O of the
+// send path happens here, off the caller's critical path.
+func (t *Transport) writeLoop(p *peer, to int) {
+	defer t.wg.Done()
+	for {
+		frame, ok := p.outbox.Pop()
+		if !ok {
+			return
+		}
+		t.writeFrame(p, to, frame)
+	}
+}
+
+// writeFrame writes one frame, dialing if necessary. A frame that cannot
+// be written promptly (peer in dial backoff, dead connection, write
+// timeout) is dropped and metered — the writer moves on to newer frames
+// rather than retrying, leaving recovery to the algorithms' repeated
+// broadcasts, exactly as over the simulated lossy network.
+func (t *Transport) writeFrame(p *peer, to int, frame []byte) {
 	p.mu.Lock()
 	conn := p.conn
 	if conn == nil {
@@ -260,13 +372,13 @@ func (t *Transport) Send(from, to int, m *wire.Message) {
 		return
 	}
 	p.mu.Unlock()
-	t.counters.RecordSend(c.Type, len(payload))
 }
 
 // dialLocked establishes p's connection, honouring the redial backoff; it
-// runs with p.mu held (senders to *other* peers are unaffected). A failed
-// attempt doubles the backoff and adds jitter, so a dead peer costs one
-// time comparison per send until the window expires.
+// runs with p.mu held, on p's writer goroutine (writers to *other* peers
+// are unaffected). A failed attempt doubles the backoff and adds jitter,
+// so a dead peer costs one time comparison per frame until the window
+// expires.
 func (t *Transport) dialLocked(p *peer, to int) (net.Conn, bool) {
 	now := time.Now()
 	if now.Before(p.nextDial) || t.isClosed() {
@@ -346,6 +458,13 @@ func (t *Transport) signalClose() {
 		c.Close() // unblock readLoops stuck mid-frame
 	}
 	for _, p := range t.peers {
+		if p.outbox != nil {
+			// Pending frames are channel content lost on shutdown; drain
+			// before closing so writer goroutines exit without attempting
+			// further writes.
+			p.outbox.Drain()
+			p.outbox.Close()
+		}
 		p.mu.Lock()
 		if p.conn != nil {
 			p.conn.Close()

@@ -186,6 +186,13 @@ func TestRedialWithBackoffRecovers(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		tr.Send(0, 1, &wire.Message{Type: wire.TWrite})
 	}
+	// Send is asynchronous: the writer goroutine drains the outbox, failing
+	// each frame against the dead peer, so the drops accrue shortly after
+	// the sends return rather than synchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Counters().Drops() != 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	if tr.Counters().Drops() != 20 {
 		t.Errorf("sends to dead peer: drops = %d, want 20", tr.Counters().Drops())
 	}
@@ -201,7 +208,7 @@ func TestRedialWithBackoffRecovers(t *testing.T) {
 	}
 	defer peerTr.Close()
 
-	deadline := time.Now().Add(5 * time.Second)
+	deadline = time.Now().Add(5 * time.Second)
 	for tr.Counters().Reconnects() == 0 && time.Now().Before(deadline) {
 		tr.Send(0, 1, &wire.Message{Type: wire.TWrite, SSN: 42})
 		time.Sleep(2 * time.Millisecond)

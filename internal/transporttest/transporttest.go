@@ -1,16 +1,27 @@
 // Package transporttest asserts that every netsim.Transport implementation
-// exhibits the *same* overload semantics: a bounded per-node inbox that
-// loses the oldest queued message when full (the paper's §2 bounded-capacity
-// lossy channels), with every loss metered as an eviction. The in-memory
-// simulator and the TCP transport both run this conformance suite, so the
-// two backends cannot silently diverge again (one blocking, one dropping).
+// exhibits the *same* channel semantics. The in-memory simulator and the
+// TCP transport both run this conformance suite, so the two backends cannot
+// silently diverge again. It covers:
+//
+//   - overload: a bounded per-node inbox that loses the oldest queued
+//     message when full (the paper's §2 bounded-capacity lossy channels),
+//     with every loss metered as an eviction — whether the flood arrives
+//     via Send or via the SendMany fast path;
+//   - fan-out equivalence: SendMany(from, to, m) delivers and meters
+//     exactly like a Send loop over to;
+//   - copy-on-write safety: recipients of one fan-out may read their
+//     deliveries concurrently, and the sender may keep mutating its message
+//     between fan-outs, without data races (run these suites under -race).
 package transporttest
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/types"
 	"selfstabsnap/internal/wire"
 )
 
@@ -63,6 +74,183 @@ func OverloadDropOldest(t *testing.T, sender, receiver netsim.Transport, from, t
 		if m.SNS != int64(i) {
 			t.Fatalf("conformance: survivor SNS = %d, want %d (drop-oldest violated)", m.SNS, i)
 		}
+	}
+}
+
+// OverloadDropOldestMany is OverloadDropOldest with the flood issued
+// through the SendMany fast path: overload behaviour must not depend on
+// which send entry point filled the channel.
+func OverloadDropOldestMany(t *testing.T, sender, receiver netsim.Transport, from, to, capacity int) {
+	t.Helper()
+	many, ok := sender.(netsim.ManySender)
+	if !ok {
+		t.Fatalf("conformance: transport %T does not implement netsim.ManySender", sender)
+	}
+	total := capacity * 3
+
+	flooded := make(chan struct{})
+	go func() {
+		defer close(flooded)
+		dst := []int{to}
+		for i := 0; i < total; i++ {
+			many.SendMany(from, dst, &wire.Message{Type: wire.TGossip, SNS: int64(i)})
+		}
+	}()
+	select {
+	case <-flooded:
+	case <-time.After(10 * time.Second):
+		t.Fatal("conformance: SendMany blocked by an undrained receiver (backpressure, not loss)")
+	}
+
+	wantEvicted := int64(total - capacity)
+	deadline := time.Now().Add(5 * time.Second)
+	for receiver.Counters().Evictions() < wantEvicted && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := receiver.Counters().Evictions(); got != wantEvicted {
+		t.Fatalf("conformance: SendMany evictions = %d, want %d (total %d, capacity %d)", got, wantEvicted, total, capacity)
+	}
+	for i := total - capacity; i < total; i++ {
+		m, ok := recvTimeout(t, receiver, to)
+		if !ok {
+			t.Fatalf("conformance: inbox exhausted at SNS %d", i)
+		}
+		if m.SNS != int64(i) {
+			t.Fatalf("conformance: survivor SNS = %d, want %d (drop-oldest violated)", m.SNS, i)
+		}
+	}
+}
+
+// samplePayload builds a broadcast-shaped message: a RegVector payload plus
+// auxiliary slices, exercising every field the fan-out fast paths share.
+func samplePayload(n int) *wire.Message {
+	reg := make(types.RegVector, n)
+	for i := range reg {
+		reg[i] = types.TSValue{TS: int64(i + 1), Val: types.Value(fmt.Sprintf("value-%d", i))}
+	}
+	return &wire.Message{
+		Type:   wire.TSnapshot,
+		SSN:    7,
+		Reg:    reg,
+		Maxima: []int64{3, 1, 4, 1, 5},
+	}
+}
+
+// SendManyEquivalence asserts the ManySender contract: SendMany(from, to, m)
+// must deliver to every recipient, and meter on the sender's counters,
+// exactly as the equivalent Send loop — one metered send of the same byte
+// size per (from, to) pair, each delivery carrying the full payload with a
+// correctly stamped envelope. endpoint(k) must return the transport whose
+// Recv observes node k (the same object for the simulator, node k's
+// endpoint for TCP).
+func SendManyEquivalence(t *testing.T, sender netsim.Transport, endpoint func(id int) netsim.Transport, from int, to []int) {
+	t.Helper()
+	many, ok := sender.(netsim.ManySender)
+	if !ok {
+		t.Fatalf("conformance: transport %T does not implement netsim.ManySender", sender)
+	}
+	payload := samplePayload(len(to))
+
+	check := func(label string, send func()) (msgs, bytes int64) {
+		before := sender.Counters().Snapshot()
+		send()
+		delta := sender.Counters().Snapshot().Sub(before)
+		for _, k := range to {
+			m, ok := recvTimeout(t, endpoint(k), k)
+			if !ok {
+				t.Fatalf("conformance: %s delivered nothing to node %d", label, k)
+			}
+			if m.From != int32(from) || m.To != int32(k) {
+				t.Fatalf("conformance: %s envelope to node %d = (From %d, To %d), want (%d, %d)", label, k, m.From, m.To, from, k)
+			}
+			if m.Type != payload.Type || m.SSN != payload.SSN || len(m.Reg) != len(payload.Reg) || len(m.Maxima) != len(payload.Maxima) {
+				t.Fatalf("conformance: %s payload mangled at node %d: %+v", label, k, m)
+			}
+			for i := range payload.Reg {
+				if m.Reg[i].TS != payload.Reg[i].TS || string(m.Reg[i].Val) != string(payload.Reg[i].Val) {
+					t.Fatalf("conformance: %s register %d mangled at node %d: %v", label, i, k, m.Reg[i])
+				}
+			}
+		}
+		return delta.Messages, delta.Bytes
+	}
+
+	sendMsgs, sendBytes := check("Send loop", func() {
+		for _, k := range to {
+			sender.Send(from, k, payload)
+		}
+	})
+	manyMsgs, manyBytes := check("SendMany", func() {
+		many.SendMany(from, to, payload)
+	})
+	if manyMsgs != sendMsgs || manyBytes != sendBytes {
+		t.Fatalf("conformance: SendMany metered (%d msgs, %d bytes), Send loop metered (%d msgs, %d bytes)",
+			manyMsgs, manyBytes, sendMsgs, sendBytes)
+	}
+	if want := int64(len(to)); sendMsgs != want {
+		t.Fatalf("conformance: Send loop metered %d msgs, want one per recipient (%d)", sendMsgs, want)
+	}
+}
+
+// ConcurrentFanout drives `rounds` fan-outs while every recipient
+// concurrently receives and reads its deliveries in full, and the sender
+// mutates its message between rounds. Run under -race, this enforces the
+// two sharing contracts at once: a transport may share payloads across
+// recipients only if no delivery path still writes to them, and the caller
+// may keep mutating its message the moment a send returns.
+func ConcurrentFanout(t *testing.T, sender netsim.Transport, endpoint func(id int) netsim.Transport, from int, to []int, rounds int) {
+	t.Helper()
+	many, _ := sender.(netsim.ManySender)
+
+	var wg sync.WaitGroup
+	for _, k := range to {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ep := endpoint(k)
+			var sink int64
+			for got := 0; got < rounds; got++ {
+				m, ok := ep.Recv(k)
+				if !ok {
+					t.Errorf("conformance: node %d's endpoint closed after %d/%d deliveries", k, got, rounds)
+					return
+				}
+				// Read every shared field; the race detector flags any
+				// writer still touching a delivered payload.
+				sink += m.SSN + int64(len(m.Maxima))
+				for _, e := range m.Reg {
+					sink += e.TS + int64(len(e.Val))
+				}
+				for _, x := range m.Maxima {
+					sink += x
+				}
+			}
+			_ = sink
+		}(k)
+	}
+
+	payload := samplePayload(len(to))
+	for i := 0; i < rounds; i++ {
+		if many != nil && i%2 == 0 {
+			many.SendMany(from, to, payload)
+		} else {
+			for _, k := range to {
+				sender.Send(from, k, payload)
+			}
+		}
+		// The send has returned, so the message is ours to mutate — any
+		// transport that aliased it instead of copying races right here.
+		payload.SSN++
+		payload.Reg[0].TS++
+		payload.Maxima[0]++
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("conformance: receivers did not observe all fan-out deliveries")
 	}
 }
 

@@ -170,9 +170,19 @@ func (d *decoder) vectorClock() types.VectorClock {
 	return v
 }
 
-// Marshal encodes m into a fresh byte slice.
+// Marshal encodes m into a fresh byte slice. The slice is preallocated to
+// exactly Size() bytes, so a marshal costs one allocation regardless of
+// payload shape.
 func Marshal(m *Message) []byte {
-	var e encoder
+	return AppendMarshal(make([]byte, 0, m.Size()), m)
+}
+
+// AppendMarshal appends m's encoding to b and returns the extended slice.
+// It allocates nothing when b has Size() bytes of spare capacity — the TCP
+// transport uses this to build a length-prefixed frame (4-byte header plus
+// payload) in a single allocation.
+func AppendMarshal(b []byte, m *Message) []byte {
+	e := encoder{b: b}
 	marshalInto(&e, m)
 	return e.b
 }

@@ -106,7 +106,59 @@ func (m *Message) Clone() *Message {
 	return &c
 }
 
-// Size returns the encoded size of m in bytes. The network layers meter
-// traffic with this, so the paper's bit-complexity claims can be checked
-// directly against measured byte counts.
-func (m *Message) Size() int { return len(Marshal(m)) }
+// ShallowClone returns a copy of m that shares every payload slice (Reg,
+// Entry.Val, Tasks, Saves, Inner, Maxima) with the original. The transports
+// use it for copy-on-write broadcast fan-out: one deep clone of the payload
+// is shared by all recipients while each delivery gets its own envelope
+// (From/To/Seq). Safe only because receivers treat arriving messages as
+// immutable — a contract the transport conformance suite enforces under the
+// race detector.
+func (m *Message) ShallowClone() *Message {
+	c := *m
+	return &c
+}
+
+// Encoded sizes of the codec's fixed-width pieces (see codec.go):
+// a TSValue is an i64 timestamp plus a u32-length-prefixed payload, and the
+// fixed header covers Type through TaskSN.
+const (
+	tsValueOverhead = 8 + 4
+	fixedHeaderSize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8 // Type..TaskSN
+	fixedTailSize   = 8 + 8 + 8                         // Tag, Epoch, MaxSNS
+)
+
+func regVectorSize(r types.RegVector) int {
+	n := 2 // u16 element count
+	for _, e := range r {
+		n += tsValueOverhead + len(e.Val)
+	}
+	return n
+}
+
+// Size returns the exact encoded size of m in bytes, computed without
+// marshalling: len(Marshal(m)) == m.Size() always (a property the codec
+// tests assert). The network layers meter traffic with this, so the
+// paper's bit-complexity claims can be checked directly against measured
+// byte counts, and Marshal uses it to preallocate exactly.
+func (m *Message) Size() int {
+	n := fixedHeaderSize + fixedTailSize
+	n += regVectorSize(m.Reg)
+	n += tsValueOverhead + len(m.Entry.Val)
+	n += 2 // u16 task count
+	for _, t := range m.Tasks {
+		n += 4 + 8 + 1 // Node, SNS, vc presence flag
+		if t.VC != nil {
+			n += 2 + 8*len(t.VC)
+		}
+	}
+	n += 2 // u16 save count
+	for _, s := range m.Saves {
+		n += 4 + 8 + regVectorSize(s.Result)
+	}
+	n++ // inner presence flag
+	if m.Inner != nil {
+		n += m.Inner.Size()
+	}
+	n += 2 + 8*len(m.Maxima)
+	return n
+}

@@ -199,6 +199,62 @@ func TestSizeScalesWithPayload(t *testing.T) {
 	}
 }
 
+// TestSizeMatchesEncoding pins the invariant the transports' metering and
+// Marshal's exact preallocation both depend on: the arithmetic Size()
+// equals the marshalled length for every message shape.
+func TestSizeMatchesEncoding(t *testing.T) {
+	msgs := sampleMessages()
+	msgs = append(msgs,
+		&Message{Type: TGossip, Tasks: []TaskInfo{{Node: 1, SNS: 2, VC: nil}, {Node: 2, VC: types.VectorClock{}}}},
+		&Message{Type: TSave, Saves: []SaveEntry{{Node: 1, SNS: 2, Result: nil}}},
+		&Message{Type: TRBCast, Inner: &Message{Type: TRBCast, Inner: &Message{Type: TEnd}}},
+	)
+	for _, m := range msgs {
+		m.From, m.To, m.Seq = 3, 4, 77
+		if got, want := m.Size(), len(Marshal(m)); got != want {
+			t.Errorf("%s: Size()=%d but encoding is %d bytes", m.Type, got, want)
+		}
+	}
+}
+
+func TestAppendMarshal(t *testing.T) {
+	m := sampleMessages()[4] // TGossip with tasks and saves
+	prefix := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	b := AppendMarshal(append([]byte(nil), prefix...), m)
+	if !bytes.Equal(b[:4], prefix) {
+		t.Fatal("AppendMarshal clobbered the existing prefix")
+	}
+	if !bytes.Equal(b[4:], Marshal(m)) {
+		t.Fatal("AppendMarshal encoding differs from Marshal")
+	}
+	// With exactly Size() spare capacity the append must not reallocate.
+	buf := make([]byte, 4, 4+m.Size())
+	out := AppendMarshal(buf, m)
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendMarshal reallocated despite sufficient capacity")
+	}
+}
+
+// TestShallowCloneSharesPayload: ShallowClone must copy the envelope but
+// alias every payload slice — the copy-on-write contract the transports'
+// broadcast fan-out relies on.
+func TestShallowCloneSharesPayload(t *testing.T) {
+	m := &Message{
+		Type:   TSnapshot,
+		From:   1,
+		Reg:    types.RegVector{{TS: 1, Val: types.Value("abc")}},
+		Maxima: []int64{4},
+	}
+	c := m.ShallowClone()
+	c.From, c.To, c.Seq = 7, 8, 9
+	if m.From != 1 || m.To != 0 || m.Seq != 0 {
+		t.Error("envelope fields aliased")
+	}
+	if &c.Reg[0] != &m.Reg[0] || &c.Maxima[0] != &m.Maxima[0] {
+		t.Error("payload slices copied, want shared")
+	}
+}
+
 func TestTypeString(t *testing.T) {
 	if TWrite.String() != "WRITE" || TSnapshotAck.String() != "SNAPSHOTack" {
 		t.Error("type names broken")
