@@ -1,0 +1,7 @@
+//go:build race
+
+package selfstabsnap_test
+
+// raceEnabled reports whether this binary was built with -race; the
+// allocation guard skips itself there (instrumentation inflates counts).
+const raceEnabled = true

@@ -1,0 +1,110 @@
+package selfstabsnap_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/types"
+)
+
+// Allocation-regression guard: hard ceilings on the hot path's allocs/op
+// and B/op, enforced in CI. The zero-deep-copy refactor cut the write path
+// from 230 to ~113 allocs/op and the snapshot path from ~1078 to ~115 at
+// n=16, ν=256; these ceilings sit ~60% above the new steady state so noise
+// from background gossip never trips them, while reintroducing even one
+// O(n·ν) deep copy per operation (≥ n extra allocations and ν·n extra
+// bytes) fails the guard immediately.
+
+type allocCeiling struct {
+	op       string
+	n, nu    int
+	allocsOp int64
+	bytesOp  int64
+}
+
+func allocCeilings() []allocCeiling {
+	return []allocCeiling{
+		{"write", 4, 256, 65, 9_500},
+		{"snapshot", 4, 256, 70, 10_000},
+		{"write", 16, 256, 185, 45_000},
+		{"snapshot", 16, 256, 195, 48_000},
+	}
+}
+
+// measureOp runs fn ops times and returns per-op allocation count and bytes
+// from the runtime's cumulative counters — whole-process numbers, the same
+// source `go test -benchmem` reads.
+func measureOp(t *testing.T, ops int, fn func() error) (allocsOp, bytesOp int64) {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	n := int64(ops)
+	return int64(after.Mallocs-before.Mallocs) / n, int64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
+func TestHotpathAllocationCeilings(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated and non-representative under -race")
+	}
+	if types.MutcheckEnabled {
+		t.Skip("mutcheck's fingerprint registry allocates by design; ceilings hold for production builds")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	const ops = 150
+	for _, c := range allocCeilings() {
+		t.Run(fmt.Sprintf("%s/n=%d/nu=%d", c.op, c.n, c.nu), func(t *testing.T) {
+			cl, err := core.NewCluster(core.Config{
+				N:            c.n,
+				Algorithm:    core.NonBlockingSS,
+				Seed:         42,
+				LoopInterval: time.Millisecond,
+				RetxInterval: 3 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			payload := make([]byte, c.nu)
+			for i := range payload {
+				payload[i] = byte('a' + i%26)
+			}
+			for w := 0; w < c.n; w++ { // fill registers + warm-up
+				if err := cl.Write(w, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := cl.Snapshot(1); err != nil {
+				t.Fatal(err)
+			}
+
+			var run func() error
+			switch c.op {
+			case "write":
+				run = func() error { return cl.Write(0, payload) }
+			case "snapshot":
+				run = func() error { _, err := cl.Snapshot(1); return err }
+			}
+			allocs, bytes := measureOp(t, ops, run)
+			t.Logf("%s n=%d ν=%d: %d allocs/op, %d B/op (ceiling %d / %d)",
+				c.op, c.n, c.nu, allocs, bytes, c.allocsOp, c.bytesOp)
+			if allocs > c.allocsOp {
+				t.Errorf("allocs/op regression: %d > ceiling %d — a deep copy crept back onto the hot path?", allocs, c.allocsOp)
+			}
+			if bytes > c.bytesOp {
+				t.Errorf("B/op regression: %d > ceiling %d — a deep copy crept back onto the hot path?", bytes, c.bytesOp)
+			}
+		})
+	}
+}

@@ -78,9 +78,11 @@ func (nd *Node) Write(v types.Value) error {
 
 	nd.mu.Lock()
 	nd.ts++
-	entry := types.TSValue{TS: nd.ts, Val: v.Clone()}
+	// One defensive copy at the API boundary; the payload is immutable from
+	// here on, so the local register and the broadcast share the same bytes.
+	entry := types.TSValue{TS: nd.ts, Val: types.Freeze(v.Clone())}
 	if nd.reg[nd.id].Less(entry) {
-		nd.reg[nd.id] = entry.Clone()
+		nd.reg[nd.id] = entry
 	}
 	nd.mu.Unlock()
 
@@ -120,17 +122,18 @@ func (nd *Node) Read(k int) (types.TSValue, error) {
 	if err != nil {
 		return types.TSValue{}, err
 	}
+	// Arriving entries are immutable: adopt the maximum by reference.
 	best := types.TSValue{}
 	for _, m := range recs {
 		if best.Less(m.Entry) {
-			best = m.Entry.Clone()
+			best = m.Entry
 		}
 	}
 	nd.mu.Lock()
 	if nd.reg[k].Less(best) {
-		nd.reg[k] = best.Clone()
+		nd.reg[k] = best
 	} else {
-		best = nd.reg[k].Clone()
+		best = nd.reg[k]
 	}
 	nd.mu.Unlock()
 
@@ -159,7 +162,7 @@ func (nd *Node) Tick() {
 	if own := nd.reg[nd.id].TS; own > nd.ts {
 		nd.ts = own
 	}
-	gossip := nd.reg.Clone()
+	gossip := nd.reg.Share()
 	nd.mu.Unlock()
 	nd.rt.GossipTo(func(k int) *wire.Message {
 		return &wire.Message{Type: wire.TGossip, Entry: gossip[k]}
@@ -175,7 +178,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 			return
 		}
 		nd.mu.Lock()
-		reply := &wire.Message{Type: wire.TRegQueryAck, Src: m.Src, Entry: nd.reg[k].Clone(), Tag: m.Tag}
+		reply := &wire.Message{Type: wire.TRegQueryAck, Src: m.Src, Entry: nd.reg[k], Tag: m.Tag}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)
 
@@ -186,7 +189,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		}
 		nd.mu.Lock()
 		if nd.reg[k].Less(m.Entry) {
-			nd.reg[k] = m.Entry.Clone()
+			nd.reg[k] = m.Entry
 		}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), &wire.Message{Type: wire.TRegWriteBackAck, Tag: m.Tag})
@@ -197,7 +200,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		}
 		nd.mu.Lock()
 		if nd.reg[nd.id].Less(m.Entry) {
-			nd.reg[nd.id] = m.Entry.Clone()
+			nd.reg[nd.id] = m.Entry
 		}
 		if own := nd.reg[nd.id].TS; own > nd.ts {
 			nd.ts = own

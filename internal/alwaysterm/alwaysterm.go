@@ -92,7 +92,9 @@ func (nd *Node) Write(v types.Value) error {
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 
-	pw := &pendingWrite{val: v.Clone(), done: make(chan struct{})}
+	// Clone the caller's value once at the API boundary; it is immutable
+	// from here on and baseWrite installs it without further copying.
+	pw := &pendingWrite{val: types.Freeze(v.Clone()), done: make(chan struct{})}
 	nd.mu.Lock()
 	nd.writePending = pw
 	nd.mu.Unlock()
@@ -135,7 +137,7 @@ func (nd *Node) Snapshot() (types.RegVector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res.Clone(), nil
+	return res.Share(), nil
 }
 
 // Tick is the do-forever loop (lines 37–42): run the pending write task if
@@ -190,8 +192,8 @@ func (nd *Node) compactQueueLocked() {
 func (nd *Node) baseWrite(v types.Value) error {
 	nd.mu.Lock()
 	nd.ts++
-	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: v.Clone()}
-	lReg := nd.reg.Clone()
+	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: v} // v cloned+frozen in Write
+	lReg := nd.reg.Share()
 	nd.mu.Unlock()
 
 	recs, err := nd.rt.Call(node.CallOpts{
@@ -223,15 +225,17 @@ func (nd *Node) baseSnapshot(k TaskKey) error {
 			nd.mu.Unlock()
 			return nil
 		}
-		prev := nd.reg.Clone()
+		prev := nd.reg.Share()
 		nd.ssn++
 		ssn := nd.ssn
 		nd.mu.Unlock()
 
 		recs, err := nd.rt.Call(node.CallOpts{
 			Build: func() *wire.Message {
+				// Share, not deep-clone: Build runs once per retransmission
+				// round.
 				nd.mu.Lock()
-				reg := nd.reg.Clone()
+				reg := nd.reg.Share()
 				nd.mu.Unlock()
 				return &wire.Message{Type: wire.TSnapshot, Src: k.Src, TaskSN: k.SN, Reg: reg, SSN: ssn}
 			},
@@ -298,7 +302,7 @@ func (nd *Node) rbDeliver(inner *wire.Message) {
 		k := TaskKey{Src: inner.Src, SN: inner.TaskSN}
 		nd.mu.Lock()
 		if nd.repSnap[k] == nil {
-			nd.repSnap[k] = inner.Saves[0].Result.Clone()
+			nd.repSnap[k] = inner.Saves[0].Result // delivered results are immutable: adopt
 		}
 		nd.mu.Unlock()
 	}
@@ -323,7 +327,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 	case wire.TWrite:
 		nd.mu.Lock()
 		nd.reg.MergeFrom(m.Reg)
-		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Clone()}
+		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Share()}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)
 
@@ -332,7 +336,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		nd.reg.MergeFrom(m.Reg)
 		reply := &wire.Message{
 			Type: wire.TSnapshotAck, Src: m.Src, TaskSN: m.TaskSN,
-			Reg: nd.reg.Clone(), SSN: m.SSN,
+			Reg: nd.reg.Share(), SSN: m.SSN,
 		}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)

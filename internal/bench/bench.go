@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"E8", "Non-blocking vs always-terminating under a write storm", RunE8},
 		{"E9", "§5 bounded counters: MAXINT wraparound and global reset", RunE9},
 		{"E10", "Crash tolerance and linearizability under adversary", RunE10},
+		{"hotpath", "Hot-path allocation profile: write/snapshot ns, B and allocs per op", RunHotpath},
 	}
 }
 

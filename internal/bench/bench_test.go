@@ -37,11 +37,14 @@ func cellFloat(t *testing.T, row []string, col int) float64 {
 
 func TestCatalogue(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("catalogue has %d experiments, want 10", len(all))
+	if len(all) != 11 { // E1–E10 plus the hotpath allocation profile
+		t.Fatalf("catalogue has %d experiments, want 11", len(all))
 	}
 	if _, ok := Lookup("e3"); !ok {
 		t.Error("case-insensitive lookup broken")
+	}
+	if _, ok := Lookup("HOTPATH"); !ok {
+		t.Error("case-insensitive lookup of hotpath broken")
 	}
 	if _, ok := Lookup("E99"); ok {
 		t.Error("bogus id found")

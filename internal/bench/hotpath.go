@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/types"
+)
+
+// RunHotpath profiles the allocation cost of the operation hot path: one
+// end-to-end write and one end-to-end quiescent snapshot of the
+// self-stabilizing Algorithm 1, across cluster size n and payload size ν.
+// It reports ns/op, B/op and allocs/op measured over the whole process
+// (client install, quorum broadcast, server merge + reply, ack collection,
+// final merge, background gossip) — the same pipeline the root-level
+// BenchmarkWritePath/BenchmarkSnapshotPath benchmarks and the CI
+// allocation-regression guard measure, so `benchrunner -exp hotpath -json`
+// archives the numbers those guards enforce.
+func RunHotpath(p Params) []*Table {
+	grid := []struct{ n, nu int }{{4, 16}, {4, 256}, {16, 16}, {16, 256}}
+	ops := 400
+	if p.Quick {
+		ops = 150
+	}
+
+	t := &Table{
+		ID:      "hotpath",
+		Title:   "Hot-path allocation profile (Algorithm 1, self-stabilizing)",
+		Headers: []string{"op", "n", "ν (bytes)", "ops", "ns/op", "B/op", "allocs/op"},
+	}
+
+	for _, g := range grid {
+		c := mustCluster(fastCfg(core.NonBlockingSS, g.n, 42))
+		payload := types.Value(value(g.nu, 'h'))
+
+		write := func() error { return c.Write(0, payload) }
+		snapshot := func() error { _, err := c.Snapshot(1); return err }
+
+		// Warm the write path, then fill every register so snapshots carry
+		// n full ν-byte payloads.
+		for w := 0; w < g.n; w++ {
+			if err := c.Write(w, payload); err != nil {
+				panic(fmt.Sprintf("bench: hotpath warm-up write: %v", err))
+			}
+		}
+		if err := snapshot(); err != nil {
+			panic(fmt.Sprintf("bench: hotpath warm-up snapshot: %v", err))
+		}
+
+		for _, op := range []struct {
+			name string
+			run  func() error
+		}{{"write", write}, {"snapshot", snapshot}} {
+			nsOp, bOp, allocsOp := measureAllocs(ops, op.run)
+			t.AddRow(op.name, fmt.Sprintf("%d", g.n), fmt.Sprintf("%d", g.nu),
+				fmt.Sprintf("%d", ops), fmt.Sprintf("%d", nsOp),
+				fmt.Sprintf("%d", bOp), fmt.Sprintf("%d", allocsOp))
+		}
+		c.Close()
+	}
+
+	t.AddNote("whole-process measurement: background gossip and dispatcher allocations count, exactly as in `go test -bench . -benchmem`")
+	t.AddNote("shared-structure snapshots keep payload bytes aliased end to end; only envelopes and entry arrays are allocated per operation")
+	return []*Table{t}
+}
+
+// measureAllocs runs fn `ops` times and returns per-op wall time, allocated
+// bytes and allocation count, read from the runtime's cumulative counters
+// (the same source testing.B uses for -benchmem).
+func measureAllocs(ops int, fn func() error) (nsOp, bOp, allocsOp int64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := fn(); err != nil {
+			panic(fmt.Sprintf("bench: hotpath op: %v", err))
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(ops)
+	return elapsed.Nanoseconds() / n,
+		int64(after.TotalAlloc-before.TotalAlloc) / n,
+		int64(after.Mallocs-before.Mallocs) / n
+}

@@ -42,8 +42,12 @@ type Inner interface {
 	Snapshot() (types.RegVector, error)
 	// MaxIndex reports the largest operation index anywhere in the state.
 	MaxIndex() int64
-	// RegClone and MergeReg expose the registers to the MAXIDX gossip.
-	RegClone() types.RegVector
+	// RegSnapshot and MergeReg expose the registers to the MAXIDX gossip.
+	// RegSnapshot returns a shared-structure snapshot (types.RegVector.Share):
+	// the watcher polls it every tick, so a deep copy here would be a
+	// steady-state O(n·ν) cost even when idle. Callers must not mutate
+	// payload bytes.
+	RegSnapshot() types.RegVector
 	MergeReg(types.RegVector)
 	// ApplyReset collapses every index to its initial value while keeping
 	// register values (all nodes hold identical registers when it runs).
@@ -270,7 +274,7 @@ func (b *Node) watch() {
 			b.eng.Trigger()
 		}
 		b.syncGate()
-		b.exec(b.eng.OnTick(b.inner.RegClone(), b.frozen()))
+		b.exec(b.eng.OnTick(b.inner.RegSnapshot(), b.frozen()))
 	}
 }
 
@@ -281,7 +285,7 @@ func (b *Node) handleReset(m *wire.Message) {
 	if b.inner.Runtime().Crashed() {
 		return
 	}
-	res := b.eng.OnMessage(m, b.inner.RegClone(), b.frozen())
+	res := b.eng.OnMessage(m, b.inner.RegSnapshot(), b.frozen())
 	// Joining a reset gates admissions eagerly so freezing is prompt.
 	b.syncGate()
 	b.exec(res)

@@ -128,7 +128,9 @@ func (nd *Node) deltaLocked() []wire.TaskInfo {
 			include = true
 		}
 		if include {
-			out = append(out, wire.TaskInfo{Node: int32(k), SNS: p.sns, VC: p.vc.Clone()})
+			// VCs are immutable once built (replaced wholesale, never
+			// updated element-wise), so tasks share them by reference.
+			out = append(out, wire.TaskInfo{Node: int32(k), SNS: p.sns, VC: p.vc})
 		}
 	}
 	return out
@@ -152,7 +154,9 @@ func (nd *Node) Write(v types.Value) error {
 	nd.opMu.Lock()
 	defer nd.opMu.Unlock()
 
-	pw := &pendingWrite{val: v.Clone(), done: make(chan struct{})}
+	// Clone the caller's value once at the API boundary; it is immutable
+	// from here on and baseWrite installs it without further copying.
+	pw := &pendingWrite{val: types.Freeze(v.Clone()), done: make(chan struct{})}
 	nd.mu.Lock()
 	nd.writePending = pw
 	nd.mu.Unlock()
@@ -192,7 +196,7 @@ func (nd *Node) Snapshot() (types.RegVector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res.Clone(), nil
+	return res.Share(), nil
 }
 
 // Tick is the do-forever loop (lines 73–80): clean stale information,
@@ -231,10 +235,13 @@ func (nd *Node) Tick() {
 	// every node adopt the global maximum and line 77 would then fabricate
 	// phantom pending tasks at every node, forcing O(n²) traffic for every
 	// snapshot regardless of δ.
+	// Entry structs, VCs and final results are all immutable once installed,
+	// so the per-peer gossip payloads share them by reference — this loop
+	// used to be an O(n²·ν) deep copy per tick.
 	gossip := make([]gossipOut, nd.n)
 	for k := 0; k < nd.n; k++ {
-		gossip[k] = gossipOut{entry: nd.reg[k].Clone(), task: pnd{
-			sns: nd.pndTsk[k].sns, vc: nd.pndTsk[k].vc.Clone(), fnl: nd.pndTsk[k].fnl.Clone(),
+		gossip[k] = gossipOut{entry: nd.reg[k], task: pnd{
+			sns: nd.pndTsk[k].sns, vc: nd.pndTsk[k].vc, fnl: nd.pndTsk[k].fnl,
 		}}
 	}
 	pw := nd.writePending
@@ -276,8 +283,8 @@ func (nd *Node) Tick() {
 func (nd *Node) baseWrite(v types.Value) error {
 	nd.mu.Lock()
 	nd.ts++
-	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: v.Clone()}
-	lReg := nd.reg.Clone()
+	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: v} // v cloned+frozen in Write
+	lReg := nd.reg.Share()
 	nd.mu.Unlock()
 
 	recs, err := nd.rt.Call(node.CallOpts{
@@ -317,16 +324,18 @@ func (nd *Node) baseSnapshot(s map[int32]struct{}) {
 		nd.mu.Lock()
 		nd.ssn++
 		ssn := nd.ssn
-		prev := nd.reg.Clone()
+		prev := nd.reg.Share()
 		nd.mu.Unlock()
 
 		// Inner loop (lines 87–89): broadcast SNAPSHOT(S∩Δ, reg, ssn) until
-		// the task set empties or a majority acknowledges ssn.
+		// the task set empties or a majority acknowledges ssn. Build runs
+		// once per retransmission round: intersectLocked already returns a
+		// fresh slice and Share avoids re-deep-cloning reg every round.
 		recs, err := nd.rt.Call(node.CallOpts{
 			Build: func() *wire.Message {
 				nd.mu.Lock()
-				tasks := cloneTasks(nd.intersectLocked(s))
-				reg := nd.reg.Clone()
+				tasks := nd.intersectLocked(s)
+				reg := nd.reg.Share()
 				nd.mu.Unlock()
 				return &wire.Message{Type: wire.TSnapshot, Tasks: tasks, Reg: reg, SSN: ssn}
 			},
@@ -345,7 +354,7 @@ func (nd *Node) baseSnapshot(s map[int32]struct{}) {
 		nd.merge(recs) // line 90
 
 		nd.mu.Lock()
-		cur := cloneTasks(nd.intersectLocked(s))
+		cur := nd.intersectLocked(s)
 		quiet := nd.reg.Equal(prev)
 		var save []wire.SaveEntry
 		if quiet && len(cur) > 0 {
@@ -397,7 +406,9 @@ func (nd *Node) safeReg(a []wire.SaveEntry) error {
 	}
 	_, err := nd.rt.Call(node.CallOpts{
 		Build: func() *wire.Message {
-			return &wire.Message{Type: wire.TSave, Saves: cloneSaves(a)}
+			// a's results are immutable snapshots: every retransmission
+			// round reuses them by reference.
+			return &wire.Message{Type: wire.TSave, Saves: a}
 		},
 		Accept: func(m *wire.Message) bool {
 			if m.Type != wire.TSaveAck || len(m.Saves) != len(want) {
@@ -429,7 +440,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 			p := &nd.pndTsk[k]
 			if p.sns < e.SNS || (p.sns == e.SNS && p.fnl == nil) {
 				p.sns = e.SNS
-				p.fnl = e.Result.Clone()
+				p.fnl = e.Result // arriving results are immutable: adopt
 			}
 			ack = append(ack, wire.SaveEntry{Node: e.Node, SNS: e.SNS})
 		}
@@ -442,7 +453,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		// task is adopted (the same value the safe register stores).
 		nd.mu.Lock()
 		if nd.reg[nd.id].Less(m.Entry) {
-			nd.reg[nd.id] = m.Entry.Clone()
+			nd.reg[nd.id] = m.Entry
 		}
 		if own := nd.reg[nd.id].TS; own > nd.ts {
 			nd.ts = own
@@ -454,7 +465,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 			if int(e.Node) == nd.id && e.Result != nil {
 				p := &nd.pndTsk[nd.id]
 				if p.sns == e.SNS && p.fnl == nil {
-					p.fnl = e.Result.Clone()
+					p.fnl = e.Result
 				}
 			}
 		}
@@ -464,7 +475,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		// Lines 100–102.
 		nd.mu.Lock()
 		nd.reg.MergeFrom(m.Reg)
-		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Clone()}
+		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Share()}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)
 
@@ -479,7 +490,7 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 			}
 			p := &nd.pndTsk[k]
 			if p.sns < t.SNS || (p.sns == t.SNS && p.vc == nil && p.fnl == nil) {
-				*p = pnd{sns: t.SNS, vc: t.VC.Clone()}
+				*p = pnd{sns: t.SNS, vc: t.VC}
 			}
 		}
 		var fwd []wire.SaveEntry
@@ -489,10 +500,10 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 				continue
 			}
 			if p := nd.pndTsk[k]; p.fnl != nil {
-				fwd = append(fwd, wire.SaveEntry{Node: t.Node, SNS: p.sns, Result: p.fnl.Clone()})
+				fwd = append(fwd, wire.SaveEntry{Node: t.Node, SNS: p.sns, Result: p.fnl})
 			}
 		}
-		reply := &wire.Message{Type: wire.TSnapshotAck, Reg: nd.reg.Clone(), SSN: m.SSN}
+		reply := &wire.Message{Type: wire.TSnapshotAck, Reg: nd.reg.Share(), SSN: m.SSN}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)
 		if len(fwd) > 0 {
@@ -501,22 +512,6 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 			nd.rt.Send(int(m.From), &wire.Message{Type: wire.TSave, Saves: fwd})
 		}
 	}
-}
-
-func cloneTasks(ts []wire.TaskInfo) []wire.TaskInfo {
-	out := make([]wire.TaskInfo, len(ts))
-	for i, t := range ts {
-		out[i] = t.Clone()
-	}
-	return out
-}
-
-func cloneSaves(ss []wire.SaveEntry) []wire.SaveEntry {
-	out := make([]wire.SaveEntry, len(ss))
-	for i, s := range ss {
-		out[i] = s.Clone()
-	}
-	return out
 }
 
 func containsNode(ts []wire.TaskInfo, id int32) bool {
@@ -614,11 +609,12 @@ func (nd *Node) MaxIndex() int64 {
 	return m
 }
 
-// RegClone returns a copy of the register vector (bounded-counter reset).
-func (nd *Node) RegClone() types.RegVector {
+// RegSnapshot returns a shared-structure snapshot of the register vector
+// (bounded-counter reset watcher; polled every tick).
+func (nd *Node) RegSnapshot() types.RegVector {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	return nd.reg.Clone()
+	return nd.reg.Share()
 }
 
 // MergeReg folds an external register vector in (MAXIDX gossip).

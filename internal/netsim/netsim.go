@@ -23,9 +23,20 @@ import (
 
 // Transport is the interface node runtimes communicate through. Both the
 // in-memory simulator (Network) and the TCP transport implement it.
+//
+// Payload sharing contract: Send and SendMany take copy-on-write
+// snapshots of m (a shallow envelope copy, or a serialization) — they do
+// NOT deep-copy payload slices. After a send returns, the caller may
+// replace m's fields (scalars and whole slice headers) but must never
+// mutate the *contents* of slices the message carried (Reg entries and
+// their Val bytes, Tasks, Saves, Maxima): those may now be aliased by
+// in-flight envelopes and delivered messages. Receivers must treat
+// arriving messages as immutable. Both halves of the contract are enforced
+// by internal/transporttest under the race detector, and payload-byte
+// immutability additionally by the `mutcheck` build tag.
 type Transport interface {
-	// Send transmits m from node `from` to node `to`. The message is
-	// deep-copied (or serialized); the caller may keep mutating its fields.
+	// Send transmits m from node `from` to node `to`, taking a
+	// copy-on-write snapshot (see the payload sharing contract above).
 	Send(from, to int, m *wire.Message)
 	// Recv blocks until a message addressed to node id arrives; ok is false
 	// once the transport is closed.
@@ -222,10 +233,14 @@ func (n *Network) dispatch(from, to int, env *wire.Message, copies int, delays [
 	}
 }
 
-// Send transmits a deep copy of m, subject to the adversary: the copy may be
-// dropped, duplicated, and delayed (delays reorder messages relative to each
-// other). Sending to self is delivered like any other message, as in the
-// paper's model where a node's broadcast includes itself.
+// Send transmits a copy-on-write snapshot of m, subject to the adversary:
+// the envelope may be dropped, duplicated, and delayed (delays reorder
+// messages relative to each other). The snapshot is a shallow clone — the
+// payload slices are shared with the caller's message under the Transport
+// contract (immutable after send), so a unicast send allocates one envelope
+// and zero payload bytes, exactly the scheme SendMany fans out with.
+// Sending to self is delivered like any other message, as in the paper's
+// model where a node's broadcast includes itself.
 func (n *Network) Send(from, to int, m *wire.Message) {
 	if to < 0 || to >= n.cfg.N {
 		return
@@ -248,7 +263,7 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 		n.counters.RecordSend(m.Type, m.Size())
 		return
 	}
-	c := m.Clone()
+	c := m.ShallowClone()
 	c.From, c.To, c.Seq = int32(from), int32(to), seq
 	n.counters.RecordSend(c.Type, c.Size())
 	if n.cfg.Trace != nil {
@@ -258,16 +273,17 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 }
 
 // SendMany transmits m from node `from` to every node in `to`, equivalently
-// to a Send loop but with one deep copy shared across all recipients:
-// each recipient gets its own envelope (From/To/Seq) via ShallowClone while
-// the payload slices are shared copy-on-write. Metering is identical to the
-// Send loop — one send of m.Size() bytes recorded per recipient, and each
-// recipient is admitted, adversary-sampled, and traced independently.
+// to a Send loop but with zero payload copies: each recipient gets its own
+// envelope (From/To/Seq) via ShallowClone while the payload slices are
+// shared — with each other AND with the caller's message, under the
+// Transport contract (payloads immutable after send). Metering is identical
+// to the Send loop — one send of m.Size() bytes recorded per recipient, and
+// each recipient is admitted, adversary-sampled, and traced independently.
 func (n *Network) SendMany(from int, to []int, m *wire.Message) {
 	if len(to) == 0 {
 		return
 	}
-	master := m.Clone()
+	master := m.ShallowClone()
 	size := master.Size()
 	sent := 0
 	for _, k := range to {

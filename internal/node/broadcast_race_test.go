@@ -31,9 +31,11 @@ func (a *readingAlg) HandleMessage(m *wire.Message) {
 func (a *readingAlg) Tick() {}
 
 // TestBroadcastConcurrentWithHandlerReads fires Broadcast and GossipTo from
-// concurrent goroutines — mutating each goroutine's message between casts —
-// while every node's dispatcher reads the deliveries. Run under -race this
-// pins the copy-on-write fan-out contract end to end on both transports.
+// concurrent goroutines — evolving each goroutine's message copy-on-write
+// between casts (scalars may change in place, slices are replaced, never
+// written through) — while every node's dispatcher reads the deliveries.
+// Run under -race this pins the zero-copy fan-out contract end to end on
+// both transports.
 func TestBroadcastConcurrentWithHandlerReads(t *testing.T) {
 	const n, rounds = 4, 100
 	drive := func(t *testing.T, transports func(k int) netsim.Transport) {
@@ -65,9 +67,16 @@ func TestBroadcastConcurrentWithHandlerReads(t *testing.T) {
 					} else {
 						rts[1].GossipTo(func(int) *wire.Message { return m })
 					}
-					m.SSN += 2 // ours again the moment the cast returns
-					m.Reg[0].TS++
-					m.Maxima[0]++
+					// The struct is ours again the moment the cast returns,
+					// but delivered payload slices are shared: evolve them
+					// copy-on-write, never in place.
+					m.SSN += 2
+					reg := append(types.RegVector(nil), m.Reg...)
+					reg[0].TS++
+					m.Reg = reg
+					maxima := append([]int64(nil), m.Maxima...)
+					maxima[0]++
+					m.Maxima = maxima
 				}
 			}(g)
 		}

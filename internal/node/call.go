@@ -24,11 +24,13 @@ func (c *call) offer(m *wire.Message) {
 	c.mu <- struct{}{}
 	if _, dup := c.senders[m.From]; !dup {
 		c.senders[m.From] = struct{}{}
-		// Clone: one arriving message may be accepted by several concurrent
-		// calls (and is also handed to the algorithm's handler); without a
-		// private copy, one caller mutating its Rec set would corrupt the
-		// others'.
-		c.msgs = append(c.msgs, m.Clone())
+		// Shallow clone: one arriving message may be accepted by several
+		// concurrent calls (and is also handed to the algorithm's handler).
+		// Each call gets a private envelope, but the payload slices — the
+		// O(n·ν) Reg vector of an ack — are shared: arriving messages are
+		// immutable by the transport contract, and the algorithms' merge
+		// paths only read Rec payloads (adopting entries by reference).
+		c.msgs = append(c.msgs, m.ShallowClone())
 		select {
 		case c.notify <- struct{}{}:
 		default:
@@ -48,16 +50,25 @@ func (c *call) snapshot() (int, []*wire.Message) {
 
 // offer routes an arriving message to every registered call; each call's
 // acceptance predicate decides whether the message is one of its acks.
+// The active-call list is maintained copy-on-write by Call (calls register
+// and deregister rarely — once per quorum operation), so the dispatcher
+// reads it with one atomic load and zero allocation per arriving message.
 func (r *Runtime) offer(m *wire.Message) {
-	r.mu.Lock()
+	if calls := r.collector.active.Load(); calls != nil {
+		for _, c := range *calls {
+			c.offer(m)
+		}
+	}
+}
+
+// rebuildActiveLocked publishes a fresh snapshot of the registered calls.
+// Caller holds r.mu.
+func (r *Runtime) rebuildActiveLocked() {
 	calls := make([]*call, 0, len(r.collector.calls))
 	for _, c := range r.collector.calls {
 		calls = append(calls, c)
 	}
-	r.mu.Unlock()
-	for _, c := range calls {
-		c.offer(m)
-	}
+	r.collector.active.Store(&calls)
 }
 
 // CallOpts parameterises a quorum call.
@@ -110,10 +121,12 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 	r.collector.next++
 	c.id = r.collector.next
 	r.collector.calls[c.id] = c
+	r.rebuildActiveLocked()
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		delete(r.collector.calls, c.id)
+		r.rebuildActiveLocked()
 		r.mu.Unlock()
 	}()
 

@@ -84,6 +84,10 @@ type Runtime struct {
 	collector struct {
 		next  uint64
 		calls map[uint64]*call
+		// active is a copy-on-write snapshot of calls' values, rebuilt on
+		// (rare) register/deregister so the dispatcher's offer path reads
+		// the list with one atomic load and no per-message allocation.
+		active atomic.Pointer[[]*call]
 	}
 
 	loopCount  atomic.Int64

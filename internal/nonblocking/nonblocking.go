@@ -81,8 +81,10 @@ func (nd *Node) Write(v types.Value) error {
 
 	nd.mu.Lock()
 	nd.ts++
-	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: v.Clone()}
-	lReg := nd.reg.Clone()
+	// Clone the caller's value once at the API boundary — from here on the
+	// payload is immutable and every path shares it by reference.
+	nd.reg[nd.id] = types.TSValue{TS: nd.ts, Val: types.Freeze(v.Clone())}
+	lReg := nd.reg.Share()
 	nd.mu.Unlock()
 
 	recs, err := nd.rt.Call(node.CallOpts{
@@ -111,15 +113,17 @@ func (nd *Node) Snapshot() (types.RegVector, error) {
 
 	for {
 		nd.mu.Lock()
-		prev := nd.reg.Clone()
+		prev := nd.reg.Share()
 		nd.ssn++
 		ssn := nd.ssn
 		nd.mu.Unlock()
 
 		recs, err := nd.rt.Call(node.CallOpts{
 			Build: func() *wire.Message {
+				// Share, not deep-clone: Build runs once per retransmission
+				// round, so an O(n·ν) copy here multiplies with retries.
 				nd.mu.Lock()
-				reg := nd.reg.Clone()
+				reg := nd.reg.Share()
 				nd.mu.Unlock()
 				return &wire.Message{Type: wire.TSnapshot, Reg: reg, SSN: ssn}
 			},
@@ -137,7 +141,7 @@ func (nd *Node) Snapshot() (types.RegVector, error) {
 
 		nd.mu.Lock()
 		done := nd.reg.Equal(prev)
-		res := nd.reg.Clone()
+		res := nd.reg.Share()
 		nd.mu.Unlock()
 		if done {
 			return res, nil
@@ -174,7 +178,7 @@ func (nd *Node) Tick() {
 	if own := nd.reg[nd.id].TS; own > nd.ts {
 		nd.ts = own // line 10: ts ← max{ts, reg[i].ts}
 	}
-	gossip := nd.reg.Clone()
+	gossip := nd.reg.Share()
 	nd.mu.Unlock()
 
 	// Line 11: send GOSSIP(reg[k]) to each p_k ≠ p_i — O(ν) bits each,
@@ -193,8 +197,10 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		}
 		nd.mu.Lock()
 		// Line 25: reg[i] ← max{reg[i], regJ}; ts ← max{ts, reg[i].ts}.
+		// Adopt the arriving entry by reference: message payloads are
+		// immutable once delivered.
 		if nd.reg[nd.id].Less(m.Entry) {
-			nd.reg[nd.id] = m.Entry.Clone()
+			nd.reg[nd.id] = m.Entry
 		}
 		if own := nd.reg[nd.id].TS; own > nd.ts {
 			nd.ts = own
@@ -204,14 +210,14 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 	case wire.TWrite:
 		nd.mu.Lock()
 		nd.reg.MergeFrom(m.Reg) // line 27
-		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Clone()}
+		reply := &wire.Message{Type: wire.TWriteAck, Reg: nd.reg.Share()}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply) // line 28
 
 	case wire.TSnapshot:
 		nd.mu.Lock()
 		nd.reg.MergeFrom(m.Reg) // line 30
-		reply := &wire.Message{Type: wire.TSnapshotAck, Reg: nd.reg.Clone(), SSN: m.SSN}
+		reply := &wire.Message{Type: wire.TSnapshotAck, Reg: nd.reg.Share(), SSN: m.SSN}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply) // line 31
 	}
@@ -298,12 +304,13 @@ func (nd *Node) MaxIndex() int64 {
 	return m
 }
 
-// RegClone returns a copy of the node's register vector (used by the
-// bounded-counter reset to converge all nodes to identical registers).
-func (nd *Node) RegClone() types.RegVector {
+// RegSnapshot returns a shared-structure snapshot of the node's register
+// vector (used by the bounded-counter reset to converge all nodes to
+// identical registers; polled every watcher tick).
+func (nd *Node) RegSnapshot() types.RegVector {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	return nd.reg.Clone()
+	return nd.reg.Share()
 }
 
 // MergeReg folds an external register vector into the node's (used by the

@@ -71,8 +71,10 @@ func (nd *Node) Write(v types.Value) error {
 
 	nd.mu.Lock()
 	nd.ts++
-	entry := types.TSValue{TS: nd.ts, Val: v.Clone()}
-	nd.reg[nd.id] = entry.Clone()
+	// One defensive copy at the API boundary; local register and broadcast
+	// share the immutable payload from here on.
+	entry := types.TSValue{TS: nd.ts, Val: types.Freeze(v.Clone())}
+	nd.reg[nd.id] = entry
 	nd.mu.Unlock()
 
 	tag := nd.tag.Add(1)
@@ -107,7 +109,7 @@ func (nd *Node) collect() (types.RegVector, error) {
 	for _, m := range recs {
 		nd.reg.MergeFrom(m.Reg)
 	}
-	view := nd.reg.Clone()
+	view := nd.reg.Share()
 	nd.mu.Unlock()
 
 	tag = nd.tag.Add(1)
@@ -161,14 +163,14 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		}
 		nd.mu.Lock()
 		if nd.reg[src].Less(m.Entry) {
-			nd.reg[src] = m.Entry.Clone()
+			nd.reg[src] = m.Entry
 		}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), &wire.Message{Type: wire.TUpdateAck, Tag: m.Tag})
 
 	case wire.TCollect:
 		nd.mu.Lock()
-		reply := &wire.Message{Type: wire.TCollectAck, Reg: nd.reg.Clone(), Tag: m.Tag}
+		reply := &wire.Message{Type: wire.TCollectAck, Reg: nd.reg.Share(), Tag: m.Tag}
 		nd.mu.Unlock()
 		nd.rt.Send(int(m.From), reply)
 

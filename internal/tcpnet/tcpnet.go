@@ -255,9 +255,10 @@ func encodeFrame(m *wire.Message) []byte {
 }
 
 // Send implements netsim.Transport. from must be this node's id. The frame
-// is serialized synchronously (so the caller may keep mutating m) and
-// queued to the peer's writer goroutine — Send itself never performs
-// network I/O and never blocks. A message that cannot be delivered
+// is serialized synchronously (loopback deliveries share the caller's
+// payload copy-on-write under the Transport contract: payload contents are
+// immutable after send) and queued to the peer's writer goroutine — Send
+// itself never performs network I/O and never blocks. A message that cannot be delivered
 // (transport closed, outbox overflow, peer unreachable or in dial backoff,
 // write failure) is lost and metered, matching the simulator's lossy
 // bounded-capacity channels. Sends are metered at serialization time — a
@@ -268,10 +269,11 @@ func (t *Transport) Send(from, to int, m *wire.Message) {
 		return
 	}
 	if to == t.self {
-		// Loopback delivery without a socket. Size() is exactly the
-		// marshalled payload length, so loopback and socket sends meter
+		// Loopback delivery without a socket: a copy-on-write envelope over
+		// the caller's payload, like the simulator's Send. Size() is exactly
+		// the marshalled payload length, so loopback and socket sends meter
 		// identically.
-		c := m.Clone()
+		c := m.ShallowClone()
 		c.From, c.To = int32(from), int32(to)
 		t.counters.RecordSend(c.Type, c.Size())
 		t.accept(c)
@@ -302,7 +304,7 @@ func (t *Transport) SendMany(from int, to []int, m *wire.Message) {
 			continue
 		}
 		if k == t.self {
-			c := m.Clone()
+			c := m.ShallowClone()
 			c.From, c.To = int32(from), int32(t.self)
 			t.counters.RecordSend(c.Type, c.Size())
 			t.accept(c)

@@ -10,8 +10,10 @@
 //   - fan-out equivalence: SendMany(from, to, m) delivers and meters
 //     exactly like a Send loop over to;
 //   - copy-on-write safety: recipients of one fan-out may read their
-//     deliveries concurrently, and the sender may keep mutating its message
-//     between fan-outs, without data races (run these suites under -race).
+//     deliveries concurrently, and the sender may keep evolving its message
+//     between fan-outs — replacing scalars in place and payload slices
+//     wholesale, never writing through a sent slice — without data races
+//     (run these suites under -race).
 package transporttest
 
 import (
@@ -190,14 +192,18 @@ func SendManyEquivalence(t *testing.T, sender netsim.Transport, endpoint func(id
 	if want := int64(len(to)); sendMsgs != want {
 		t.Fatalf("conformance: Send loop metered %d msgs, want one per recipient (%d)", sendMsgs, want)
 	}
+	SweepFrozen(t)
 }
 
 // ConcurrentFanout drives `rounds` fan-outs while every recipient
 // concurrently receives and reads its deliveries in full, and the sender
-// mutates its message between rounds. Run under -race, this enforces the
-// two sharing contracts at once: a transport may share payloads across
-// recipients only if no delivery path still writes to them, and the caller
-// may keep mutating its message the moment a send returns.
+// evolves its message between rounds in the copy-on-write style the
+// zero-copy contract prescribes: envelope scalars change in place, payload
+// slices are replaced with fresh ones, and slice *contents* are never
+// written after a send. Run under -race, this enforces the two sharing
+// contracts at once: a transport may share payloads across recipients only
+// if no delivery path still writes to them, and the caller owns the message
+// struct (not the sent slices) the moment a send returns.
 func ConcurrentFanout(t *testing.T, sender netsim.Transport, endpoint func(id int) netsim.Transport, from int, to []int, rounds int) {
 	t.Helper()
 	many, _ := sender.(netsim.ManySender)
@@ -238,11 +244,18 @@ func ConcurrentFanout(t *testing.T, sender netsim.Transport, endpoint func(id in
 				sender.Send(from, k, payload)
 			}
 		}
-		// The send has returned, so the message is ours to mutate — any
-		// transport that aliased it instead of copying races right here.
+		// The send has returned, so the message *struct* is ours again:
+		// scalars may change in place, but the sent payload slices are now
+		// shared with every in-flight delivery, so they are replaced, never
+		// written through. A transport that aliased the struct itself (no
+		// private envelope) races on SSN right here.
 		payload.SSN++
-		payload.Reg[0].TS++
-		payload.Maxima[0]++
+		reg := append(types.RegVector(nil), payload.Reg...)
+		reg[0].TS++
+		payload.Reg = reg
+		maxima := append([]int64(nil), payload.Maxima...)
+		maxima[0]++
+		payload.Maxima = maxima
 	}
 
 	done := make(chan struct{})
@@ -251,6 +264,18 @@ func ConcurrentFanout(t *testing.T, sender netsim.Transport, endpoint func(id in
 	case <-done:
 	case <-time.After(30 * time.Second):
 		t.Fatal("conformance: receivers did not observe all fan-out deliveries")
+	}
+	SweepFrozen(t)
+}
+
+// SweepFrozen re-verifies every payload the mutcheck registry is tracking
+// and fails the test on any in-place mutation. A no-op without the
+// `mutcheck` build tag (MutcheckSweep then reports nothing); under the tag
+// the conformance suites end with a whole-process alias-safety audit.
+func SweepFrozen(t *testing.T) {
+	t.Helper()
+	for _, v := range types.MutcheckSweep() {
+		t.Errorf("conformance: mutcheck violation: %s", v)
 	}
 }
 

@@ -1,0 +1,23 @@
+//go:build !mutcheck
+
+package types
+
+// MutcheckEnabled reports whether the alias-safety checker is compiled in.
+// The default build uses these no-op stubs; `go test -tags mutcheck ./...`
+// swaps in the enforcing implementation (mutcheck_on.go), which
+// fingerprints payloads at creation (Freeze) and panics if a frozen payload
+// is ever mutated in place (AssertImmutable) — the aliasing bug the
+// zero-copy hot path must never have. All calls below compile to nothing.
+const MutcheckEnabled = false
+
+// Freeze is a no-op in non-mutcheck builds; it returns v unchanged.
+func Freeze(v Value) Value { return v }
+
+// AssertImmutable is a no-op in non-mutcheck builds.
+func AssertImmutable(Value) {}
+
+// MutcheckSweep reports no violations in non-mutcheck builds.
+func MutcheckSweep() []string { return nil }
+
+// MutcheckReset is a no-op in non-mutcheck builds.
+func MutcheckReset() {}

@@ -1,0 +1,116 @@
+//go:build mutcheck
+
+package types
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// MutcheckEnabled reports whether the alias-safety checker is compiled in.
+// This file (build tag `mutcheck`) provides the real implementation; the
+// default build compiles the no-op twin in mutcheck_off.go.
+const MutcheckEnabled = true
+
+// The checker fingerprints every frozen payload at creation and verifies
+// the fingerprint wherever shared structure is established (RegVector.Share,
+// RegVector.MergeFrom, wire marshalling). A fingerprint mismatch means some
+// code path mutated payload bytes in place after publication — exactly the
+// aliasing bug the zero-copy hot path must never have — and the checker
+// panics with both fingerprints so the test run pinpoints it.
+//
+// Payloads are keyed by the address of their first byte: every alias of a
+// shared payload resolves to the same key, and the registry entry keeps the
+// buffer alive so the key cannot be reused by a new allocation while
+// registered. The registry is bounded (maxTracked) so long test runs freeze
+// new payloads without growing without bound; once full, new payloads pass
+// unchecked (existing ones stay enforced).
+const maxTracked = 1 << 17
+
+var mutcheck struct {
+	sync.Mutex
+	fps map[*byte]fingerprint
+}
+
+type fingerprint struct {
+	hash uint64
+	n    int
+}
+
+func fingerprintOf(v Value) fingerprint {
+	// FNV-1a, inlined to keep the checker dependency-free.
+	h := uint64(14695981039346656037)
+	for _, b := range v {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return fingerprint{hash: h, n: len(v)}
+}
+
+// Freeze registers v's fingerprint and returns v. Call it at every payload
+// creation site: a write installing a client value, the codec decoding a
+// payload off the wire, fault injection fabricating a corrupted value.
+// Freezing an already-frozen payload re-fingerprints it (a Corrupt that
+// legitimately rebuilt a buffer re-registers the new contents).
+func Freeze(v Value) Value {
+	if len(v) == 0 {
+		return v
+	}
+	mutcheck.Lock()
+	defer mutcheck.Unlock()
+	if mutcheck.fps == nil {
+		mutcheck.fps = make(map[*byte]fingerprint)
+	}
+	if _, tracked := mutcheck.fps[&v[0]]; !tracked && len(mutcheck.fps) >= maxTracked {
+		return v
+	}
+	mutcheck.fps[&v[0]] = fingerprintOf(v)
+	return v
+}
+
+// AssertImmutable verifies that a frozen payload still matches its
+// creation-time fingerprint, panicking on mismatch. Unfrozen payloads
+// (never registered, or registered past the registry bound) pass.
+func AssertImmutable(v Value) {
+	if len(v) == 0 {
+		return
+	}
+	mutcheck.Lock()
+	fp, ok := mutcheck.fps[&v[0]]
+	mutcheck.Unlock()
+	if !ok {
+		return
+	}
+	if got := fingerprintOf(v); got != fp {
+		panic(fmt.Sprintf(
+			"types: mutcheck: frozen payload mutated in place (len %d→%d, fnv %x→%x) — "+
+				"some writer edited shared payload bytes instead of replacing the entry",
+			fp.n, got.n, fp.hash, got.hash))
+	}
+}
+
+// MutcheckSweep re-verifies every registered payload and returns a
+// description of each violation (empty when the immutability contract
+// held). The conformance and race suites call it at teardown so a mutation
+// that AssertImmutable's spot checks missed still fails the run.
+func MutcheckSweep() []string {
+	mutcheck.Lock()
+	defer mutcheck.Unlock()
+	var out []string
+	for p, fp := range mutcheck.fps {
+		cur := fingerprintOf(unsafe.Slice(p, fp.n))
+		if cur != fp {
+			out = append(out, fmt.Sprintf("payload@%p len %d fnv %x→%x", p, fp.n, fp.hash, cur.hash))
+		}
+	}
+	return out
+}
+
+// MutcheckReset clears the registry (test isolation for the checker's own
+// expected-fail tests).
+func MutcheckReset() {
+	mutcheck.Lock()
+	mutcheck.fps = nil
+	mutcheck.Unlock()
+}

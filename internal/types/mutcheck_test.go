@@ -1,0 +1,85 @@
+//go:build mutcheck
+
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests only exist in mutcheck builds: they deliberately violate the
+// immutability contract and assert the checker catches it. In normal builds
+// the violation would be silent — which is exactly why the checker exists.
+
+func TestMutcheckCatchesInPlaceMutation(t *testing.T) {
+	MutcheckReset()
+	defer MutcheckReset()
+
+	v := Freeze(Value("frozen-payload"))
+	AssertImmutable(v) // untouched: must pass
+
+	// The deliberate aliasing violation: edit a frozen payload in place, as
+	// a buggy zero-copy path would.
+	v[0] = 'X'
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mutcheck: in-place mutation of a frozen payload went undetected")
+		}
+		if !strings.Contains(r.(string), "mutated in place") {
+			t.Fatalf("mutcheck: unexpected panic %v", r)
+		}
+	}()
+	AssertImmutable(v)
+}
+
+func TestMutcheckSweepReportsViolation(t *testing.T) {
+	MutcheckReset()
+	defer MutcheckReset()
+
+	good := Freeze(Value("left-alone"))
+	bad := Freeze(Value("about-to-be-mauled"))
+	bad[3] = '!'
+
+	viol := MutcheckSweep()
+	if len(viol) != 1 {
+		t.Fatalf("sweep found %d violations (%v), want exactly the mutated payload", len(viol), viol)
+	}
+	AssertImmutable(good)
+}
+
+func TestMutcheckShareAssertsEntries(t *testing.T) {
+	MutcheckReset()
+	defer MutcheckReset()
+
+	r := RegVector{{TS: 1, Val: Freeze(Value("entry-zero"))}}
+	shared := r.Share()
+	if &shared[0].Val[0] != &r[0].Val[0] {
+		t.Fatal("Share copied the payload; it must share it")
+	}
+
+	r[0].Val[1] = 'Z' // violate the contract through the original alias
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Share did not assert payload fingerprints")
+		}
+	}()
+	r.Share()
+}
+
+func TestMutcheckEntryReplacementIsLegal(t *testing.T) {
+	MutcheckReset()
+	defer MutcheckReset()
+
+	r := RegVector{{TS: 1, Val: Freeze(Value("old"))}}
+	s := r.Share()
+	// Replacing a whole entry is the sanctioned way to evolve state; the
+	// old payload stays frozen and intact under the snapshot's alias.
+	r[0] = TSValue{TS: 2, Val: Freeze(Value("new"))}
+	AssertImmutable(s[0].Val)
+	AssertImmutable(r[0].Val)
+	if violations := MutcheckSweep(); len(violations) != 0 {
+		t.Fatalf("entry replacement flagged as mutation: %v", violations)
+	}
+}

@@ -23,6 +23,17 @@ import (
 //
 // A nil Value together with Timestamp 0 represents ⊥ — "smaller than any
 // other written value".
+//
+// Values are immutable by contract: once a payload enters the algorithm
+// layer (a write installs it, the codec decodes it), its bytes are never
+// modified in place. State evolves by replacing whole TSValue entries, not
+// by editing payloads. This is what makes the zero-copy hot path sound:
+// shared-structure snapshots (RegVector.Share), reference-adopting merges
+// (RegVector.MergeFrom), and the transports' copy-on-write fan-out all
+// alias the same payload bytes across goroutines without copying them.
+// Build with `-tags mutcheck` to enforce the contract: Freeze fingerprints
+// a payload at creation and AssertImmutable (wired into Share, MergeFrom
+// and the wire codec) panics if any frozen payload changed.
 type Value []byte
 
 // Clone returns an independent copy of v.
@@ -67,12 +78,13 @@ func (t TSValue) LessEq(o TSValue) bool { return !o.Less(t) }
 // Equal reports ts and payload equality.
 func (t TSValue) Equal(o TSValue) bool { return t.TS == o.TS && t.Val.Equal(o.Val) }
 
-// Max returns the larger of t and o under Less.
+// Max returns the larger of t and o under Less. The result shares the
+// winner's payload (immutable by contract), not a copy of it.
 func (t TSValue) Max(o TSValue) TSValue {
 	if t.Less(o) {
-		return o.Clone()
+		return o
 	}
-	return t.Clone()
+	return t
 }
 
 // Clone returns an independent copy of t.
@@ -94,7 +106,10 @@ type RegVector []TSValue
 // NewRegVector returns an all-⊥ vector for an n-node cluster.
 func NewRegVector(n int) RegVector { return make(RegVector, n) }
 
-// Clone returns a deep copy of r.
+// Clone returns a deep copy of r: fresh entries AND fresh payload buffers.
+// Hot paths should prefer Share; Clone remains for the few places that must
+// break payload sharing by design (Corrupt's in-place fault injection,
+// codec round-trip tests, external callers that want to mutate).
 func (r RegVector) Clone() RegVector {
 	if r == nil {
 		return nil
@@ -102,6 +117,29 @@ func (r RegVector) Clone() RegVector {
 	c := make(RegVector, len(r))
 	for i, e := range r {
 		c[i] = e.Clone()
+	}
+	return c
+}
+
+// Share returns a shallow snapshot of r: a fresh entry array whose TSValue
+// entries are copied by value, so the payload slices are shared rather than
+// copied — O(n) work regardless of payload size ν, versus Clone's O(n·ν).
+//
+// The snapshot is insulated from every subsequent *entry replacement* in r
+// (writes, MergeFrom, Corrupt, ApplyReset all replace whole entries), and
+// it is safe to publish to other goroutines because payload bytes are never
+// mutated after creation — the Value immutability contract. Under
+// `-tags mutcheck` each shared payload's fingerprint is verified here.
+func (r RegVector) Share() RegVector {
+	if r == nil {
+		return nil
+	}
+	c := make(RegVector, len(r))
+	copy(c, r)
+	if MutcheckEnabled {
+		for _, e := range c {
+			AssertImmutable(e.Val)
+		}
 	}
 	return c
 }
@@ -137,6 +175,8 @@ func (r RegVector) Equal(o RegVector) bool {
 func (r RegVector) Less(o RegVector) bool { return r.LessEq(o) && !r.Equal(o) }
 
 // MergeFrom joins o into r in place: reg[k] ← max(reg[k], o[k]) for every k.
+// Winning entries are adopted by reference — the payload slice is shared,
+// not copied, which is safe because payloads are immutable after creation.
 // Vectors of mismatched length (possible only after a transient fault
 // corrupted a message) are merged over the common prefix.
 func (r RegVector) MergeFrom(o RegVector) {
@@ -146,7 +186,10 @@ func (r RegVector) MergeFrom(o RegVector) {
 	}
 	for i := 0; i < m; i++ {
 		if r[i].Less(o[i]) {
-			r[i] = o[i].Clone()
+			if MutcheckEnabled {
+				AssertImmutable(o[i].Val)
+			}
+			r[i] = o[i]
 		}
 	}
 }

@@ -36,6 +36,11 @@ func (e *encoder) bytes(v []byte) {
 }
 
 func (e *encoder) tsValue(v types.TSValue) {
+	if types.MutcheckEnabled {
+		// Marshal time is the last moment a payload is read before leaving
+		// the node: verify its creation-time fingerprint still matches.
+		types.AssertImmutable(v.Val)
+	}
 	e.i64(v.TS)
 	e.bytes(v.Val)
 }
@@ -131,6 +136,11 @@ func (d *decoder) bytesVal() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, s)
+	if types.MutcheckEnabled {
+		// A decoded payload is a fresh buffer entering the algorithm layer:
+		// freeze it so any later in-place mutation is caught.
+		types.Freeze(out)
+	}
 	return out
 }
 

@@ -77,8 +77,10 @@ type Message struct {
 	MaxSNS int64   // maximal snapshot-operation index observed
 }
 
-// Clone returns a deep copy of m. In-memory transports deliver clones so a
-// receiver can never alias the sender's live state.
+// Clone returns a deep copy of m: fresh payload buffers everywhere. The
+// hot path never calls it (transports deliver ShallowClones under the
+// immutable-payload contract); it remains for callers that must break
+// sharing by design — fault injection and tests that mutate a message.
 func (m *Message) Clone() *Message {
 	if m == nil {
 		return nil
@@ -107,12 +109,14 @@ func (m *Message) Clone() *Message {
 }
 
 // ShallowClone returns a copy of m that shares every payload slice (Reg,
-// Entry.Val, Tasks, Saves, Inner, Maxima) with the original. The transports
-// use it for copy-on-write broadcast fan-out: one deep clone of the payload
-// is shared by all recipients while each delivery gets its own envelope
-// (From/To/Seq). Safe only because receivers treat arriving messages as
-// immutable — a contract the transport conformance suite enforces under the
-// race detector.
+// Entry.Val, Tasks, Saves, Inner, Maxima) with the original. It is the
+// backbone of the zero-copy hot path: transports use it for copy-on-write
+// unicast and fan-out (each delivery gets its own From/To/Seq envelope
+// while all share the sender's payload), and quorum calls use it to give
+// each concurrent collector a private envelope over one arriving ack. Safe
+// only because payloads are immutable once sent or received — the contract
+// stated on netsim.Transport, enforced by the transport conformance suite
+// under the race detector and by the `mutcheck` build tag.
 func (m *Message) ShallowClone() *Message {
 	c := *m
 	return &c
