@@ -4,14 +4,26 @@
 // history for linearizability — a command-line front end for the
 // internal/chaos harness.
 //
+// Sequential mode runs seeds one at a time, printing each result:
+//
 //	snapfuzz -alg ss-delta -n 7 -runs 50 -duration 300ms -crash 15 -partition 10
 //	snapfuzz -alg ss-nonblocking -corrupt -runs 20
 //
-// Exit status 1 on the first violation, with the failing seed printed so
-// the run can be replayed exactly.
+// Campaign mode shards the seed range across parallel workers, with every
+// run executed as a deterministic virtual-time simulation — thousands of
+// seeds in well under a minute of wall clock — and delta-minimizes the
+// fault schedule of every failure:
+//
+//	snapfuzz -campaign -runs 1000 -corrupt -crash 15 -partition 10 -out failures.json
+//
+// Exit status 1 on any violation. In sequential mode the failing seed is
+// printed so the run can be replayed exactly (-seed N -runs 1 -virtual);
+// in campaign mode every failure — seed, violation, full and minimized
+// schedule — is also written as JSON to -out for CI artifact upload.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +36,13 @@ import (
 )
 
 var algorithms = map[string]core.Algorithm{
-	"dg-nonblocking": core.NonBlockingDG,
-	"ss-nonblocking": core.NonBlockingSS,
-	"dg-alwaysterm":  core.AlwaysTerminatingDG,
-	"ss-delta":       core.DeltaSS,
-	"stacked":        core.StackedABD,
+	"dg-nonblocking":   core.NonBlockingDG,
+	"ss-nonblocking":   core.NonBlockingSS,
+	"dg-alwaysterm":    core.AlwaysTerminatingDG,
+	"ss-delta":         core.DeltaSS,
+	"stacked":          core.StackedABD,
+	"ss-bounded":       core.BoundedSS,
+	"ss-bounded-delta": core.BoundedDeltaSS,
 }
 
 func main() {
@@ -44,6 +58,10 @@ func main() {
 		corrupt   = flag.Bool("corrupt", false, "inject a transient fault before each run")
 		drop      = flag.Float64("drop", 0.05, "packet drop probability")
 		dup       = flag.Float64("dup", 0.05, "packet duplication probability")
+		virtual   = flag.Bool("virtual", false, "run on the deterministic virtual clock (no wall-clock sleeping)")
+		campaign  = flag.Bool("campaign", false, "campaign mode: shard seeds across workers, virtual time, minimize failures")
+		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+		out       = flag.String("out", "", "campaign mode: write failures (seed + minimized schedule) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -57,20 +75,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("fuzzing %s: n=%d runs=%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v\n\n",
-		alg, *n, *runs, *duration, *crash, *partition, *corrupt)
+	base := chaos.Config{
+		N: *n, Algorithm: alg, Delta: *delta,
+		Adversary: netsim.Adversary{DropProb: *drop, DupProb: *dup, MaxDelay: 2 * time.Millisecond},
+		Duration:  *duration,
+		CrashRate: *crash, PartitionRate: *partition,
+		Corrupt: *corrupt,
+		Virtual: *virtual,
+	}
+
+	if *campaign {
+		os.Exit(runCampaign(base, *seed, *runs, *workers, *out))
+	}
+
+	fmt.Printf("fuzzing %s: n=%d runs=%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v virtual=%v\n\n",
+		alg, *n, *runs, *duration, *crash, *partition, *corrupt, *virtual)
 
 	start := time.Now()
 	var totalOps int64
 	for i := 0; i < *runs; i++ {
 		s := *seed + int64(i)
-		res, err := chaos.Run(chaos.Config{
-			N: *n, Algorithm: alg, Delta: *delta, Seed: s,
-			Adversary: netsim.Adversary{DropProb: *drop, DupProb: *dup, MaxDelay: 2 * time.Millisecond},
-			Duration:  *duration,
-			CrashRate: *crash, PartitionRate: *partition,
-			Corrupt: *corrupt,
-		})
+		cfg := base
+		cfg.Seed = s
+		res, err := chaos.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: setup error: %v\n", s, err)
 			os.Exit(1)
@@ -84,4 +111,69 @@ func main() {
 	}
 	fmt.Printf("\n%d runs, %d operations, 0 violations in %v\n",
 		*runs, totalOps, time.Since(start).Round(time.Millisecond))
+}
+
+// campaignFailure is the JSON artifact shape for one failing seed.
+type campaignFailure struct {
+	Seed      int64              `json:"seed"`
+	Error     string             `json:"error,omitempty"`
+	Violation string             `json:"violation,omitempty"`
+	Schedule  []chaos.FaultEvent `json:"schedule"`
+	Minimized []chaos.FaultEvent `json:"minimized,omitempty"`
+}
+
+func runCampaign(base chaos.Config, fromSeed int64, runs, workers int, out string) int {
+	fmt.Printf("campaign %s: n=%d seeds=%d..%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v\n\n",
+		base.Algorithm, base.N, fromSeed, fromSeed+int64(runs)-1, base.Duration,
+		base.CrashRate, base.PartitionRate, base.Corrupt)
+
+	start := time.Now()
+	lastTick := 0
+	res := chaos.RunCampaign(chaos.CampaignConfig{
+		Base:     base,
+		FromSeed: fromSeed,
+		Seeds:    runs,
+		Workers:  workers,
+		Minimize: true,
+		Progress: func(done, total, failures int) {
+			// One line per ~5% so CI logs stay readable.
+			if done*20/total > lastTick || done == total {
+				lastTick = done * 20 / total
+				fmt.Printf("  %5d/%d seeds, %d failures, %v elapsed\n",
+					done, total, failures, time.Since(start).Round(time.Millisecond))
+			}
+		},
+	})
+
+	fmt.Printf("\n%d seeds, %d writes, %d snapshots, %d failures in %v\n",
+		res.Seeds, res.Writes, res.Snapshots, len(res.Failures), time.Since(start).Round(time.Millisecond))
+
+	if len(res.Failures) == 0 {
+		return 0
+	}
+	artifacts := make([]campaignFailure, 0, len(res.Failures))
+	for _, f := range res.Failures {
+		a := campaignFailure{Seed: f.Seed, Schedule: f.Result.Schedule, Minimized: f.Minimized}
+		if f.Err != nil {
+			a.Error = f.Err.Error()
+		}
+		if f.Result.Violation != nil {
+			a.Violation = f.Result.Violation.Error()
+		}
+		artifacts = append(artifacts, a)
+		fmt.Fprintf(os.Stderr, "FAIL seed %d: err=%v violation=%v schedule=%d events minimized=%d events\n",
+			f.Seed, f.Err, f.Result.Violation, len(f.Result.Schedule), len(f.Minimized))
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(artifacts, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", out, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "failure artifact written to %s\n", out)
+		}
+	}
+	return 1
 }

@@ -16,6 +16,7 @@
 package bounded
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"selfstabsnap/internal/node"
 	"selfstabsnap/internal/nonblocking"
 	"selfstabsnap/internal/reset"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 	"selfstabsnap/internal/wire"
 )
@@ -80,17 +82,19 @@ type Node struct {
 	cfg        Config
 	id, n      int
 
+	clk simclock.Clock
+
 	gateMu   sync.Mutex
-	gateCond *sync.Cond
-	closed   bool // admission gate
+	gateEv   simclock.Event // fired+replaced on every gate state change
+	closed   bool           // admission gate
 	inflight int
 
 	resets   atomic.Int64
 	deferred atomic.Int64
 	aborted  atomic.Int64
 
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	stopEv simclock.Event
+	wg     *simclock.Group
 }
 
 // New creates a bounded node wrapping Algorithm 1 (the paper's primary §5
@@ -122,8 +126,9 @@ func newShell(id int, tr netsim.Transport, cfg Config) *Node {
 	if cfg.MaxInt <= 0 {
 		cfg.MaxInt = DefaultMaxInt
 	}
-	b := &Node{cfg: cfg, id: id, n: tr.N(), stopCh: make(chan struct{})}
-	b.gateCond = sync.NewCond(&b.gateMu)
+	clk := simclock.Or(cfg.Runtime.Clock)
+	b := &Node{cfg: cfg, id: id, n: tr.N(), clk: clk, stopEv: clk.NewEvent(), wg: clk.NewGroup()}
+	b.gateEv = clk.NewEvent()
 	b.eng = reset.NewEngine(id, tr.N())
 	b.ft = &fencedTransport{Transport: tr, owner: b}
 	return b
@@ -133,21 +138,25 @@ func newShell(id int, tr netsim.Transport, cfg Config) *Node {
 func (b *Node) Start() {
 	b.inner.Start()
 	b.wg.Add(1)
-	go b.watch()
+	b.clk.Go(fmt.Sprintf("bounded%d-watch", b.id), b.watch)
 }
 
 // Close permanently stops the node.
 func (b *Node) Close() {
-	select {
-	case <-b.stopCh:
-	default:
-		close(b.stopCh)
-	}
+	b.stopEv.Fire()
 	b.gateMu.Lock()
-	b.gateCond.Broadcast()
+	b.notifyGateLocked()
 	b.gateMu.Unlock()
 	b.inner.Close()
 	b.wg.Wait()
+}
+
+// notifyGateLocked wakes every operation parked on the admission gate by
+// firing the current generation's event and installing a fresh one.
+// Caller holds gateMu.
+func (b *Node) notifyGateLocked() {
+	b.gateEv.Fire()
+	b.gateEv = b.clk.NewEvent()
 }
 
 // Runtime exposes lifecycle controls of the inner node.
@@ -205,12 +214,13 @@ func (b *Node) enter() error {
 		}
 		b.deferred.Add(1)
 		for b.closed {
-			select {
-			case <-b.stopCh:
+			if b.stopEv.Fired() {
 				return node.ErrClosed
-			default:
 			}
-			b.gateCond.Wait()
+			ev := b.gateEv
+			b.gateMu.Unlock()
+			b.clk.Wait(b.stopEv, ev)
+			b.gateMu.Lock()
 		}
 	}
 	b.inflight++
@@ -220,7 +230,7 @@ func (b *Node) enter() error {
 func (b *Node) exit() {
 	b.gateMu.Lock()
 	b.inflight--
-	b.gateCond.Broadcast()
+	b.notifyGateLocked()
 	b.gateMu.Unlock()
 }
 
@@ -248,7 +258,7 @@ func (b *Node) syncGate() {
 func (b *Node) openGate() {
 	b.gateMu.Lock()
 	b.closed = false
-	b.gateCond.Broadcast()
+	b.notifyGateLocked()
 	b.gateMu.Unlock()
 }
 
@@ -259,13 +269,12 @@ func (b *Node) watch() {
 	if interval <= 0 {
 		interval = 2 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
+	t := b.clk.NewTicker(interval)
 	defer t.Stop()
+	ws := []simclock.Waitable{b.stopEv, t}
 	for {
-		select {
-		case <-b.stopCh:
+		if b.clk.Wait(ws...) == 0 {
 			return
-		case <-t.C:
 		}
 		if b.inner.Runtime().Crashed() {
 			continue

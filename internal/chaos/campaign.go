@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// CampaignConfig parameterises a seed-sweep campaign: the same cluster and
+// fault shape executed under many seeds, each as an independent virtual-time
+// simulation.
+type CampaignConfig struct {
+	// Base is the per-seed run template. Seed and Schedule are overridden
+	// for every run; Virtual and Hash are forced on (a campaign is only
+	// meaningful in the deterministic time domain).
+	Base Config
+
+	// FromSeed is the first seed (default 1); the campaign covers
+	// FromSeed..FromSeed+Seeds-1.
+	FromSeed int64
+	// Seeds is the number of seeds to sweep (default 100).
+	Seeds int
+
+	// Workers bounds the OS-level parallelism (default GOMAXPROCS). Each
+	// worker runs whole seeds back to back; every seed gets its own
+	// virtual machine, so runs never share state.
+	Workers int
+
+	// Minimize shrinks every failing schedule to a minimal failing subset
+	// with delta debugging before reporting it.
+	Minimize bool
+
+	// Progress, if non-nil, is called after every completed seed.
+	Progress func(done, total, failures int)
+}
+
+// Failure is one failing seed of a campaign.
+type Failure struct {
+	Seed   int64
+	Err    error  // setup error, if the run never completed
+	Result Result // includes the Violation and the full schedule
+	// Minimized is the ddmin-reduced failing schedule (only when
+	// CampaignConfig.Minimize is set and the failure is a violation).
+	Minimized []FaultEvent
+}
+
+// CampaignResult summarises a campaign.
+type CampaignResult struct {
+	Seeds     int
+	Writes    int64
+	Snapshots int64
+	Failures  []Failure // sorted by seed
+}
+
+// RunCampaign sweeps Seeds consecutive seeds across Workers OS threads.
+// Each seed is one deterministic virtual-time run, so a reported failure
+// reproduces exactly by replaying its seed (or its minimized schedule)
+// under the same Base config.
+func RunCampaign(cfg CampaignConfig) CampaignResult {
+	if cfg.FromSeed == 0 {
+		cfg.FromSeed = 1
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	out := CampaignResult{Seeds: cfg.Seeds}
+	seeds := make(chan int64)
+	var mu sync.Mutex
+	done := 0
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range seeds {
+				c := cfg.Base
+				c.Seed = s
+				c.Schedule = nil
+				c.Virtual = true
+				c.Hash = true
+				res, err := Run(c)
+				var minimized []FaultEvent
+				if err == nil && res.Violation != nil && cfg.Minimize {
+					minimized = MinimizeSchedule(c, res.Schedule)
+				}
+				mu.Lock()
+				out.Writes += res.Writes
+				out.Snapshots += res.Snapshots
+				if err != nil || res.Violation != nil {
+					out.Failures = append(out.Failures, Failure{
+						Seed: s, Err: err, Result: res, Minimized: minimized,
+					})
+				}
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, cfg.Seeds, len(out.Failures))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Seeds; i++ {
+		seeds <- cfg.FromSeed + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Seed < out.Failures[j].Seed })
+	return out
+}
+
+// maxMinimizeTrials caps the number of re-runs delta debugging may spend
+// per failing schedule; past the cap the current best reduction is kept.
+const maxMinimizeTrials = 200
+
+// MinimizeSchedule shrinks a failing fault schedule by re-running cfg
+// (virtually, same seed) with subsets of its events and keeping the
+// smallest subset that still produces a violation. The result is the
+// artifact worth filing: usually a handful of crash/partition events
+// instead of a few dozen.
+func MinimizeSchedule(cfg Config, schedule []FaultEvent) []FaultEvent {
+	cfg.Virtual = true
+	trials := 0
+	fails := func(evs []FaultEvent) bool {
+		if trials >= maxMinimizeTrials {
+			return false
+		}
+		trials++
+		c := cfg
+		c.Schedule = evs
+		res, err := Run(c)
+		return err == nil && res.Violation != nil
+	}
+	return minimize(schedule, fails)
+}
+
+// minimize is textbook ddmin over an event list: partition the current
+// schedule into n chunks, test each complement (the schedule minus one
+// chunk), restart from any complement that still fails, and refine the
+// granularity when none does, down to single events. fails must be
+// deterministic; it is never called with nil (an explicit empty schedule
+// means "no faults", whereas a nil Config.Schedule would regenerate one).
+func minimize(events []FaultEvent, fails func([]FaultEvent) bool) []FaultEvent {
+	cur := append([]FaultEvent{}, events...)
+	n := 2
+	for len(cur) > 0 && n <= len(cur) {
+		reduced := false
+		chunk := (len(cur) + n - 1) / n
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := min(lo+chunk, len(cur))
+			rest := make([]FaultEvent, 0, len(cur)-(hi-lo))
+			rest = append(rest, cur[:lo]...)
+			rest = append(rest, cur[hi:]...)
+			if fails(rest) {
+				cur = rest
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return cur
+}

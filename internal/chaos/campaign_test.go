@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+)
+
+// TestMinimize unit-tests the ddmin core against a synthetic oracle: the
+// run "fails" iff the subset still contains both culprit events. The
+// minimizer must find exactly that pair, regardless of the noise around it.
+func TestMinimize(t *testing.T) {
+	t.Parallel()
+	evs := make([]FaultEvent, 12)
+	for i := range evs {
+		evs[i] = FaultEvent{At: time.Duration(i+1) * scheduleTick, Kind: FaultCrash, Node: i % 3, Down: time.Millisecond}
+	}
+	culpritA, culpritB := evs[3], evs[9]
+	fails := func(sub []FaultEvent) bool {
+		var a, b bool
+		for _, e := range sub {
+			a = a || e == culpritA
+			b = b || e == culpritB
+		}
+		return a && b
+	}
+	got := minimize(evs, fails)
+	if len(got) != 2 || got[0] != culpritA || got[1] != culpritB {
+		t.Fatalf("minimize kept %v, want exactly the two culprits", got)
+	}
+}
+
+// TestMinimizeSingleCulprit: reduction to one event, and the empty-subset
+// probe must not confuse an always-failing oracle.
+func TestMinimizeSingleCulprit(t *testing.T) {
+	t.Parallel()
+	evs := make([]FaultEvent, 7)
+	for i := range evs {
+		evs[i] = FaultEvent{At: time.Duration(i+1) * scheduleTick, Kind: FaultPartition, Node: i, Down: time.Millisecond}
+	}
+	fails := func(sub []FaultEvent) bool {
+		for _, e := range sub {
+			if e == evs[5] {
+				return true
+			}
+		}
+		return false
+	}
+	if got := minimize(evs, fails); len(got) != 1 || got[0] != evs[5] {
+		t.Fatalf("minimize kept %v, want just the culprit", got)
+	}
+}
+
+// TestMinimizeSchedulePassingRun: when no subset reproduces a failure (the
+// run is healthy), minimization must hand back the schedule unchanged
+// rather than inventing a reduction.
+func TestMinimizeSchedulePassingRun(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		N: 3, Algorithm: core.NonBlockingSS, Seed: 61,
+		Duration: 60 * time.Millisecond, CrashRate: 30,
+		Virtual: true,
+	}
+	sched := GenSchedule(cfg)
+	if len(sched) == 0 {
+		t.Fatal("empty schedule at these rates")
+	}
+	got := MinimizeSchedule(cfg, sched)
+	if len(got) != len(sched) {
+		t.Fatalf("healthy schedule shrunk from %d to %d events", len(sched), len(got))
+	}
+}
+
+// TestCampaignSweep is the in-repo version of the nightly snapfuzz
+// campaign: a seed sweep of full-fault-model virtual runs, sharded across
+// workers, that must stay violation-free. The default slice is small so
+// the race-enabled PR suite stays fast; the nightly job sets
+// CHAOS_CAMPAIGN_SEEDS=1000, at which point the test also enforces the
+// virtual clock's throughput bound — a thousand 300ms schedules in well
+// under two minutes of wall clock.
+func TestCampaignSweep(t *testing.T) {
+	seeds := 32
+	if testing.Short() {
+		seeds = 16
+	}
+	if env := os.Getenv("CHAOS_CAMPAIGN_SEEDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_CAMPAIGN_SEEDS=%q", env)
+		}
+		seeds = n
+	}
+	start := time.Now()
+	res := RunCampaign(CampaignConfig{
+		Base: Config{
+			N: 5, Algorithm: core.DeltaSS, Delta: 2,
+			Adversary:     hostileNet(),
+			Duration:      300 * time.Millisecond,
+			CrashRate:     15,
+			PartitionRate: 10,
+		},
+		FromSeed: 1,
+		Seeds:    seeds,
+		Minimize: true,
+	})
+	wall := time.Since(start)
+	t.Logf("%d seeds, %d writes, %d snapshots in %v", res.Seeds, res.Writes, res.Snapshots, wall)
+	for _, f := range res.Failures {
+		t.Errorf("seed %d failed: err=%v violation=%v minimized=%v",
+			f.Seed, f.Err, f.Result.Violation, f.Minimized)
+	}
+	if res.Writes == 0 || res.Snapshots == 0 {
+		t.Error("campaign made no progress")
+	}
+	if seeds >= 1000 && wall > 2*time.Minute {
+		t.Errorf("%d-seed campaign took %v, budget is 2m", seeds, wall)
+	}
+}

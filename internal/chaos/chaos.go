@@ -5,6 +5,23 @@
 // restarts, temporary minority partitions and (optionally) a one-shot
 // transient fault, all from a single seed, all reproducible.
 //
+// A run executes in one of two time domains. In real time (the default)
+// the schedule plays out against the wall clock. Under Config.Virtual the
+// whole cluster — node do-forever loops, retransmission timers, network
+// delivery, fault schedule and workload pacing — runs inside one
+// simclock.Virtual machine: time advances only when every task is parked,
+// jumping straight to the next deadline, so a 300ms schedule completes in
+// milliseconds of wall time and every step of the execution is a
+// deterministic function of the seed. Config.Hash then fingerprints the
+// message trace and the operation history, which is how the campaign
+// driver (RunCampaign) sweeps a thousand seeds in seconds and how the
+// determinism tests assert byte-identical replay.
+//
+// Fault schedules are reified as data (FaultEvent, GenSchedule) rather
+// than drawn online: a failing seed's schedule can be stored, replayed
+// via Config.Schedule, and shrunk to a minimal failing subset with
+// MinimizeSchedule.
+//
 // Soundness notes:
 //
 //   - at most ⌊(n−1)/2⌋ nodes are crashed or partitioned away at any
@@ -23,13 +40,13 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"selfstabsnap/internal/core"
 	"selfstabsnap/internal/history"
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 )
 
@@ -46,14 +63,39 @@ type Config struct {
 	Duration time.Duration
 
 	// Fault schedule. Rates are mean events per second (Poisson-ish via
-	// the seeded schedule loop); zero disables the fault class.
+	// the seeded schedule draws); zero disables the fault class.
 	CrashRate     float64 // crash + later resume, ≤ f nodes down at once
 	PartitionRate float64 // cut a minority node off, heal shortly after
 	Corrupt       bool    // one transient fault before the checked phase
 
+	// Schedule, when non-nil, replaces the generated fault schedule —
+	// used to replay a stored schedule or test a minimized one. An empty
+	// (but non-nil) slice means "no faults", whereas nil means "derive
+	// from Seed and the rates via GenSchedule".
+	Schedule []FaultEvent
+
 	// Workload: each node alternates writes and snapshots with a random
 	// think time in [0, MaxThink].
 	MaxThink time.Duration
+
+	// Virtual runs the whole cluster on a deterministic virtual clock:
+	// no wall-clock sleeping, and the execution is a pure function of
+	// the seed and schedule.
+	Virtual bool
+
+	// Hash computes Result.TraceHash and Result.HistoryHash. Only
+	// meaningful under Virtual, where event order is deterministic.
+	Hash bool
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	if cfg.MaxThink <= 0 {
+		cfg.MaxThink = 2 * time.Millisecond
+	}
+	return cfg
 }
 
 // Result summarises a chaos run.
@@ -65,6 +107,16 @@ type Result struct {
 	Partitions  int64
 	RecoveryCyc int64 // cycles to invariant after the transient fault (if any)
 	Violation   *history.Violation
+
+	// Schedule is the fault schedule the run executed (given or generated),
+	// so a failing run can be stored, replayed and minimized.
+	Schedule []FaultEvent
+
+	// TraceHash and HistoryHash fingerprint the message-level execution and
+	// the operation history when Config.Hash is set: two virtual runs of
+	// the same seed must agree on both.
+	TraceHash   uint64
+	HistoryHash uint64
 }
 
 // String renders the result on one line.
@@ -80,28 +132,54 @@ func (r Result) String() string {
 // Run executes one chaos schedule. It returns an error only for setup
 // failures; protocol misbehaviour surfaces as Result.Violation.
 func Run(cfg Config) (Result, error) {
-	var res Result
 	if cfg.N < 3 {
-		return res, fmt.Errorf("chaos: need N ≥ 3")
+		return Result{}, fmt.Errorf("chaos: need N ≥ 3")
 	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 300 * time.Millisecond
+	cfg = cfg.withDefaults()
+	if cfg.Schedule == nil {
+		cfg.Schedule = GenSchedule(cfg)
 	}
-	if cfg.MaxThink <= 0 {
-		cfg.MaxThink = 2 * time.Millisecond
+	if !cfg.Virtual {
+		return run(cfg, simclock.Real())
+	}
+	v := simclock.NewVirtual()
+	var res Result
+	var err error
+	v.Run("chaos-root", func() { res, err = run(cfg, v) })
+	return res, err
+}
+
+// run is the body of a chaos run; under Config.Virtual it executes as the
+// root task of a fresh virtual machine, so every blocking call parks a
+// scheduler task instead of an OS thread.
+func run(cfg Config, clk simclock.Clock) (Result, error) {
+	res := Result{Schedule: cfg.Schedule}
+
+	var hasher *traceHasher
+	var hook netsim.TraceHook
+	if cfg.Hash {
+		hasher = newTraceHasher()
+		hook = hasher
 	}
 	cluster, err := core.NewCluster(core.Config{
 		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
 		Adversary:    cfg.Adversary,
 		LoopInterval: time.Millisecond,
 		RetxInterval: 3 * time.Millisecond,
+		Trace:        hook,
+		Clock:        clk,
 	})
 	if err != nil {
 		return res, err
 	}
-	defer cluster.Close()
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	closed := false
+	closeCluster := func() {
+		if !closed {
+			closed = true
+			cluster.Close()
+		}
+	}
+	defer closeCluster()
 
 	// Optional transient fault, applied before the checked phase begins.
 	if cfg.Corrupt {
@@ -130,7 +208,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	rec := history.NewRecorder()
+	rec := history.NewRecorderClocked(clk)
 	// Content checking requires every invoked write to consume exactly one
 	// algorithm timestamp, in invocation order. That holds for algorithms
 	// that install the write synchronously at invocation (the non-blocking
@@ -141,83 +219,74 @@ func Run(cfg Config) (Result, error) {
 	// fall back to the index-free checks (comparability + real time).
 	syncInstall := cfg.Algorithm == core.NonBlockingDG ||
 		cfg.Algorithm == core.NonBlockingSS || cfg.Algorithm == core.StackedABD
-	fullCheck := !cfg.Corrupt && (syncInstall || cfg.CrashRate == 0)
+	fullCheck := !cfg.Corrupt && (syncInstall || !scheduleHasCrash(cfg.Schedule))
 
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	stop := clk.NewEvent()
+	wg := clk.NewGroup()
 
-	// Fault schedule driver. Heal timers are tracked and waited for so no
-	// callback can outlive this function.
-	var crashed sync.Map // id → struct{}
-	var crashedCount atomic.Int64
+	// Fault schedule driver: one task walks the flattened timeline. When
+	// the run ends mid-schedule, pending heals for already-applied faults
+	// fire immediately so no workload worker stays wedged behind a
+	// partition that would never heal.
 	var crashes, resumes, partitions atomic.Int64
-	var healWG sync.WaitGroup
-	f := int64((cfg.N - 1) / 2)
-	scheduleTick := 5 * time.Millisecond
+	acts := timeline(cfg.Schedule)
+	start := clk.Now()
 	wg.Add(1)
-	go func() {
+	clk.Go("chaos-faults", func() {
 		defer wg.Done()
-		t := time.NewTicker(scheduleTick)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-			}
-			p := scheduleTick.Seconds()
-			if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate*p {
-				id := rng.Intn(cfg.N)
-				if _, down := crashed.Load(id); !down && crashedCount.Load() < f {
-					crashed.Store(id, struct{}{})
-					crashedCount.Add(1)
-					cluster.Crash(id)
+		applied := make([]bool, len(cfg.Schedule))
+		apply := func(a action) {
+			e := cfg.Schedule[a.ev]
+			switch {
+			case !a.heal:
+				applied[a.ev] = true
+				if e.Kind == FaultCrash {
+					cluster.Crash(e.Node)
 					crashes.Add(1)
-					// Resume after a random down time.
-					down := time.Duration(1+rng.Intn(20)) * time.Millisecond
-					healWG.Add(1)
-					time.AfterFunc(down, func() {
-						defer healWG.Done()
-						cluster.Resume(id)
-						crashed.Delete(id)
-						crashedCount.Add(-1)
-						resumes.Add(1)
-					})
-				}
-			}
-			if cfg.PartitionRate > 0 && rng.Float64() < cfg.PartitionRate*p {
-				id := rng.Intn(cfg.N)
-				if _, down := crashed.Load(id); !down && crashedCount.Load() < f {
-					crashed.Store(id, struct{}{})
-					crashedCount.Add(1)
-					cluster.Network().Isolate(id, true)
+				} else {
+					cluster.Network().Isolate(e.Node, true)
 					partitions.Add(1)
-					heal := time.Duration(1+rng.Intn(15)) * time.Millisecond
-					healWG.Add(1)
-					time.AfterFunc(heal, func() {
-						defer healWG.Done()
-						cluster.Network().Isolate(id, false)
-						crashed.Delete(id)
-						crashedCount.Add(-1)
-					})
+				}
+			case applied[a.ev]:
+				if e.Kind == FaultCrash {
+					cluster.Resume(e.Node)
+					resumes.Add(1)
+				} else {
+					cluster.Network().Isolate(e.Node, false)
 				}
 			}
 		}
-	}()
+		for i, a := range acts {
+			for {
+				wait := a.at - clk.Since(start)
+				if wait <= 0 {
+					break
+				}
+				tm := clk.NewTimer(wait)
+				stopped := clk.Wait(stop, tm) == 0
+				tm.Stop()
+				if stopped {
+					for _, rest := range acts[i:] {
+						if rest.heal {
+							apply(rest)
+						}
+					}
+					return
+				}
+			}
+			apply(a)
+		}
+	})
 
 	// Workload: one worker per node.
 	var writes, snaps atomic.Int64
 	for i := 0; i < cfg.N; i++ {
+		i := i
 		wg.Add(1)
-		go func(i int) {
+		clk.Go(fmt.Sprintf("chaos-worker%d", i), func() {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
-			for j := 0; ; j++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
+			for j := 0; !stop.Fired(); j++ {
 				v := types.Value(fmt.Sprintf("c%d-%d", i, j))
 				end := rec.BeginWrite(i, v)
 				if err := cluster.Write(i, v); err == nil {
@@ -232,16 +301,15 @@ func Run(cfg Config) (Result, error) {
 					}
 				}
 				if think := cfg.MaxThink; think > 0 {
-					time.Sleep(time.Duration(r.Int63n(int64(think))))
+					clk.Sleep(time.Duration(r.Int63n(int64(think))))
 				}
 			}
-		}(i)
+		})
 	}
 
-	time.Sleep(cfg.Duration)
-	close(stop)
+	clk.Sleep(cfg.Duration)
+	stop.Fire()
 	wg.Wait()
-	healWG.Wait() // every scheduled heal has fired; nothing outlives Run
 	for i := 0; i < cfg.N; i++ {
 		cluster.Network().Isolate(i, false)
 		cluster.Resume(i)
@@ -258,7 +326,27 @@ func Run(cfg Config) (Result, error) {
 	} else {
 		res.Violation = checkComparabilityOnly(rec)
 	}
+
+	// Hash only once the cluster is fully shut down, so the trace digest
+	// covers the complete (and, under the virtual clock, deterministic)
+	// message sequence.
+	closeCluster()
+	if cfg.Hash {
+		res.TraceHash = hasher.Sum()
+		res.HistoryHash = historyHash(rec.Ops())
+	}
 	return res, nil
+}
+
+// scheduleHasCrash reports whether an explicit schedule contains a crash —
+// replayed schedules must pick the same checker the generating run used.
+func scheduleHasCrash(evs []FaultEvent) bool {
+	for _, e := range evs {
+		if e.Kind == FaultCrash {
+			return true
+		}
+	}
+	return false
 }
 
 // checkComparabilityOnly verifies rules 2–3 of the checker (pairwise

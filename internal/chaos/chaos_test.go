@@ -14,7 +14,8 @@ func hostileNet() netsim.Adversary {
 }
 
 // TestCrashChurnLinearizable: random crash/resume churn against the
-// synchronous-install algorithms, full linearizability checking.
+// synchronous-install algorithms, full linearizability checking. Virtual
+// time: 250ms of schedule per subtest, microseconds of wall clock each.
 func TestCrashChurnLinearizable(t *testing.T) {
 	for _, alg := range []core.Algorithm{core.NonBlockingSS, core.StackedABD} {
 		for _, seed := range []int64{1, 2, 3} {
@@ -26,6 +27,7 @@ func TestCrashChurnLinearizable(t *testing.T) {
 					Adversary: hostileNet(),
 					Duration:  250 * time.Millisecond,
 					CrashRate: 20, // ~5 crash events over the run
+					Virtual:   true,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -62,6 +64,7 @@ func TestPartitionChurnLinearizable(t *testing.T) {
 				Adversary:     hostileNet(),
 				Duration:      250 * time.Millisecond,
 				PartitionRate: 15,
+				Virtual:       true,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -89,6 +92,7 @@ func TestCorruptionThenChaos(t *testing.T) {
 				Duration:  200 * time.Millisecond,
 				Corrupt:   true,
 				CrashRate: 10,
+				Virtual:   true,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -114,6 +118,7 @@ func TestCombinedFaults(t *testing.T) {
 		Duration:      300 * time.Millisecond,
 		CrashRate:     10,
 		PartitionRate: 10,
+		Virtual:       true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +128,25 @@ func TestCombinedFaults(t *testing.T) {
 		t.Fatal(res.Violation)
 	}
 	if res.Crashes+res.Partitions == 0 {
-		t.Skip("schedule produced no faults at this seed/timing")
+		t.Skip("schedule produced no faults at this seed")
+	}
+}
+
+// TestRealTimeRunStillWorks keeps the wall-clock path exercised: the
+// harness must stay usable against real transports where no virtual
+// machine exists. Short to keep the suite fast.
+func TestRealTimeRunStillWorks(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Config{
+		N: 3, Algorithm: core.NonBlockingSS, Seed: 5,
+		Duration:  50 * time.Millisecond,
+		CrashRate: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
 	}
 }
 

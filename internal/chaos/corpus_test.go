@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+)
+
+// corpusEntry is one stored regression seed. The corpus collects runs that
+// were interesting at some point — crash-heavy, partition-heavy,
+// corruption-enabled, odd cluster shapes — so every future change replays
+// them cheaply under virtual time. To add one, append an object to
+// testdata/corpus.json; docs/TESTING.md documents the workflow.
+type corpusEntry struct {
+	Name       string  `json:"name"`
+	Alg        string  `json:"alg"`
+	N          int     `json:"n"`
+	Delta      int64   `json:"delta"`
+	Seed       int64   `json:"seed"`
+	Crash      float64 `json:"crash"`
+	Partition  float64 `json:"partition"`
+	Corrupt    bool    `json:"corrupt"`
+	Hostile    bool    `json:"hostile"`
+	DurationMS int64   `json:"duration_ms"`
+}
+
+var corpusAlgorithms = map[string]core.Algorithm{
+	"dg-nonblocking":   core.NonBlockingDG,
+	"ss-nonblocking":   core.NonBlockingSS,
+	"dg-alwaysterm":    core.AlwaysTerminatingDG,
+	"ss-delta":         core.DeltaSS,
+	"stacked":          core.StackedABD,
+	"ss-bounded":       core.BoundedSS,
+	"ss-bounded-delta": core.BoundedDeltaSS,
+}
+
+func (e corpusEntry) config() (Config, error) {
+	alg, ok := corpusAlgorithms[e.Alg]
+	if !ok {
+		return Config{}, fmt.Errorf("unknown algorithm %q", e.Alg)
+	}
+	cfg := Config{
+		N: e.N, Algorithm: alg, Delta: e.Delta, Seed: e.Seed,
+		Duration:      time.Duration(e.DurationMS) * time.Millisecond,
+		CrashRate:     e.Crash,
+		PartitionRate: e.Partition,
+		Corrupt:       e.Corrupt,
+		Virtual:       true,
+	}
+	if e.Hostile {
+		cfg.Adversary = hostileNet()
+	}
+	return cfg, nil
+}
+
+// TestSeedCorpus replays every stored regression seed under virtual time.
+// The whole corpus runs even in -short mode — that is the point: virtual
+// time makes a dozen full chaos schedules cheap enough to be PR-blocking.
+func TestSeedCorpus(t *testing.T) {
+	raw, err := os.ReadFile("testdata/corpus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus []corpusEntry
+	if err := json.Unmarshal(raw, &corpus); err != nil {
+		t.Fatalf("corpus.json: %v", err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("corpus is empty")
+	}
+	seen := map[string]bool{}
+	for _, e := range corpus {
+		e := e
+		if e.Name == "" || seen[e.Name] {
+			t.Fatalf("corpus entries need unique names, got %q twice", e.Name)
+		}
+		seen[e.Name] = true
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := e.config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Violation != nil {
+				t.Fatal(res.Violation)
+			}
+			if res.Writes == 0 {
+				t.Errorf("no progress: %v", res)
+			}
+		})
+	}
+}

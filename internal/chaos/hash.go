@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"selfstabsnap/internal/history"
+	"selfstabsnap/internal/wire"
+)
+
+// FNV-1a, inlined (hash/fnv would force every field through a byte buffer)
+// so run fingerprints stay allocation-free on the per-message path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvWord(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x))
+		x >>= 8
+	}
+	return h
+}
+
+func fnvBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = fnvByte(h, b)
+	}
+	return h
+}
+
+// traceHasher folds every send and delivery into a running FNV-1a digest —
+// a netsim.TraceHook cheap enough to leave on for thousand-seed campaigns,
+// unlike accumulating a full trace.Recorder. Under a virtual clock the
+// transport events form one deterministic sequence, so the digest is a
+// byte-identity check on the whole message-level execution.
+type traceHasher struct {
+	mu sync.Mutex
+	h  uint64
+}
+
+func newTraceHasher() *traceHasher { return &traceHasher{h: fnvOffset64} }
+
+// OnSend implements netsim.TraceHook.
+func (t *traceHasher) OnSend(from, to int, m *wire.Message, at time.Time) {
+	t.fold(1, from, to, m, at)
+}
+
+// OnDeliver implements netsim.TraceHook.
+func (t *traceHasher) OnDeliver(from, to int, m *wire.Message, at time.Time) {
+	t.fold(2, from, to, m, at)
+}
+
+func (t *traceHasher) fold(kind byte, from, to int, m *wire.Message, at time.Time) {
+	t.mu.Lock()
+	h := fnvByte(t.h, kind)
+	h = fnvWord(h, uint64(at.UnixNano()))
+	h = fnvWord(h, uint64(uint32(from))<<32|uint64(uint32(to)))
+	h = fnvWord(h, uint64(m.Type))
+	h = fnvWord(h, m.Seq)
+	t.h = h
+	t.mu.Unlock()
+}
+
+// Sum returns the digest of everything folded so far.
+func (t *traceHasher) Sum() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.h
+}
+
+// historyHash fingerprints a recorded operation history — kinds, nodes,
+// exact (virtual) invocation/return instants, write indices and values,
+// and full snapshot contents — so two runs agree iff the cluster behaved
+// identically from the workload's point of view.
+func historyHash(ops []*history.Op) uint64 {
+	h := fnvOffset64
+	for _, op := range ops {
+		h = fnvByte(h, byte(op.Kind))
+		h = fnvWord(h, uint64(int64(op.Node)))
+		h = fnvWord(h, uint64(op.Invoke.UnixNano()))
+		var ret uint64
+		if op.Returned {
+			ret = uint64(op.Return.UnixNano()) + 1
+		}
+		h = fnvWord(h, ret)
+		h = fnvWord(h, uint64(op.WriteIndex))
+		h = fnvWord(h, uint64(len(op.WriteValue)))
+		h = fnvBytes(h, op.WriteValue)
+		h = fnvWord(h, uint64(len(op.Snapshot)))
+		for _, e := range op.Snapshot {
+			h = fnvWord(h, uint64(e.TS))
+			h = fnvWord(h, uint64(len(e.Val)))
+			h = fnvBytes(h, e.Val)
+		}
+	}
+	return h
+}

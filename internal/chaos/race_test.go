@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled reports whether this binary was built with -race; wall-clock
+// speed bounds skip themselves there (instrumentation slows the simulation
+// several-fold without affecting its determinism).
+const raceEnabled = true

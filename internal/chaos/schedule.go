@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind distinguishes fault-schedule entries.
+type FaultKind uint8
+
+// The fault classes a schedule can contain.
+const (
+	// FaultCrash fails the node (it stops taking steps), then resumes it
+	// Down later — the paper's crash with undetectable restart.
+	FaultCrash FaultKind = iota + 1
+	// FaultPartition cuts the node off from every peer, healing Down later.
+	FaultPartition
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultEvent is one entry of a reified fault schedule: at offset At from
+// the start of the checked phase the fault hits Node, and Down later it
+// heals (resume or partition heal). Reifying the schedule — rather than
+// drawing faults online from a ticker — is what makes failing runs
+// replayable and minimizable: a schedule is plain data that can be stored
+// in a corpus, shipped as a CI artifact, and shrunk by delta debugging.
+type FaultEvent struct {
+	At   time.Duration `json:"at"`
+	Kind FaultKind     `json:"kind"`
+	Node int           `json:"node"`
+	Down time.Duration `json:"down"`
+}
+
+// String renders one event for logs and artifacts.
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("%v %s node %d for %v", e.At, e.Kind, e.Node, e.Down)
+}
+
+// scheduleTick is the granularity of the generated schedule, matching the
+// 5ms cadence the online fault driver used before schedules were reified.
+const scheduleTick = 5 * time.Millisecond
+
+// GenSchedule derives the fault schedule Run executes for cfg — a pure,
+// deterministic function of (Seed, N, CrashRate, PartitionRate, Duration).
+// Rates are mean events per second, drawn at a 5ms tick. The generator
+// enforces the harness's soundness constraint: at most f = ⌊(N−1)/2⌋
+// nodes are crashed or partitioned away at any instant, so a connected
+// live majority always exists and every operation eventually completes.
+func GenSchedule(cfg Config) []FaultEvent {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := (cfg.N - 1) / 2
+	downUntil := make([]time.Duration, cfg.N) // zero = up
+	downAt := func(at time.Duration) int {
+		n := 0
+		for _, u := range downUntil {
+			if u > at {
+				n++
+			}
+		}
+		return n
+	}
+	p := scheduleTick.Seconds()
+	var evs []FaultEvent
+	for at := scheduleTick; at <= cfg.Duration; at += scheduleTick {
+		if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate*p {
+			if id := rng.Intn(cfg.N); downUntil[id] <= at && downAt(at) < f {
+				down := time.Duration(1+rng.Intn(20)) * time.Millisecond
+				evs = append(evs, FaultEvent{At: at, Kind: FaultCrash, Node: id, Down: down})
+				downUntil[id] = at + down
+			}
+		}
+		if cfg.PartitionRate > 0 && rng.Float64() < cfg.PartitionRate*p {
+			if id := rng.Intn(cfg.N); downUntil[id] <= at && downAt(at) < f {
+				heal := time.Duration(1+rng.Intn(15)) * time.Millisecond
+				evs = append(evs, FaultEvent{At: at, Kind: FaultPartition, Node: id, Down: heal})
+				downUntil[id] = at + heal
+			}
+		}
+	}
+	return evs
+}
+
+// action is one step of the flattened schedule timeline: event ev of the
+// schedule either fires (heal=false) or heals (heal=true) at offset at.
+type action struct {
+	at   time.Duration
+	ev   int
+	heal bool
+}
+
+// timeline flattens a schedule into a time-sorted action list. The sort is
+// stable so simultaneous actions apply in schedule order — part of keeping
+// a run a deterministic function of its schedule.
+func timeline(evs []FaultEvent) []action {
+	acts := make([]action, 0, 2*len(evs))
+	for i, e := range evs {
+		acts = append(acts,
+			action{at: e.At, ev: i},
+			action{at: e.At + e.Down, ev: i, heal: true})
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].at < acts[j].at })
+	return acts
+}

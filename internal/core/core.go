@@ -25,6 +25,7 @@ import (
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/node"
 	"selfstabsnap/internal/nonblocking"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/stacked"
 	"selfstabsnap/internal/types"
 )
@@ -118,6 +119,10 @@ type Config struct {
 	AbortDuringReset bool
 	// Trace, if non-nil, observes every send and delivery.
 	Trace netsim.TraceHook
+	// Clock drives every timer, latency measurement and blocking wait in
+	// the cluster. nil means real time; pass a *simclock.Virtual (and call
+	// cluster operations from its tasks) for deterministic simulation.
+	Clock simclock.Clock
 }
 
 // Object is the snapshot-object interface every algorithm implements: the
@@ -150,6 +155,7 @@ type member struct {
 // Cluster is a running group of nodes implementing one snapshot object.
 type Cluster struct {
 	cfg     Config
+	clk     simclock.Clock
 	net     *netsim.Network
 	members []member
 	rng     *rand.Rand
@@ -175,15 +181,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	clk := simclock.Or(cfg.Clock)
 	net := netsim.New(netsim.Config{
 		N:         cfg.N,
 		Seed:      cfg.Seed,
 		InboxCap:  cfg.InboxCap,
 		Adversary: cfg.Adversary,
 		Trace:     cfg.Trace,
+		Clock:     clk,
 	})
-	c := &Cluster{cfg: cfg, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
-	ropts := node.Options{LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval}
+	c := &Cluster{cfg: cfg, clk: clk, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	ropts := node.Options{LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval, Clock: clk}
 
 	for i := 0; i < cfg.N; i++ {
 		var m member
@@ -292,10 +300,10 @@ func (c *Cluster) Write(id int, v types.Value) error {
 	if id < 0 || id >= c.cfg.N {
 		return ErrUnknownNode
 	}
-	start := time.Now()
+	start := c.clk.Now()
 	err := c.members[id].obj.Write(v)
 	if err == nil {
-		c.writeLat.Record(time.Since(start))
+		c.writeLat.Record(c.clk.Since(start))
 	}
 	return err
 }
@@ -305,10 +313,10 @@ func (c *Cluster) Snapshot(id int) (types.RegVector, error) {
 	if id < 0 || id >= c.cfg.N {
 		return nil, ErrUnknownNode
 	}
-	start := time.Now()
+	start := c.clk.Now()
 	snap, err := c.members[id].obj.Snapshot()
 	if err == nil {
-		c.snapLat.Record(time.Since(start))
+		c.snapLat.Record(c.clk.Since(start))
 	}
 	return snap, err
 }
@@ -422,7 +430,7 @@ func (c *Cluster) LoopCounts() []int64 {
 // do-forever iterations, or the timeout expires.
 func (c *Cluster) AwaitCycles(k int64, timeout time.Duration) error {
 	start := c.LoopCounts()
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
 	for {
 		done := true
 		for i := range c.members {
@@ -437,10 +445,10 @@ func (c *Cluster) AwaitCycles(k int64, timeout time.Duration) error {
 		if done {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			return ErrTimeout
 		}
-		time.Sleep(time.Millisecond)
+		c.clk.Sleep(time.Millisecond)
 	}
 }
 
@@ -450,13 +458,13 @@ func (c *Cluster) AwaitCycles(k int64, timeout time.Duration) error {
 // recovery theorems.
 func (c *Cluster) CyclesToInvariant(timeout time.Duration) (int64, error) {
 	start := c.LoopCounts()
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
 	for {
 		if c.InvariantsHold() {
 			// Require stability across one further cycle so corrupted
 			// values still in transit (which the instantaneous check cannot
 			// see) have had the chance to land and be caught.
-			if err := c.AwaitCycles(1, time.Until(deadline)); err != nil {
+			if err := c.AwaitCycles(1, deadline.Sub(c.clk.Now())); err != nil {
 				return 0, err
 			}
 			if !c.InvariantsHold() {
@@ -473,10 +481,10 @@ func (c *Cluster) CyclesToInvariant(timeout time.Duration) (int64, error) {
 			}
 			return maxD, nil
 		}
-		if time.Now().After(deadline) {
+		if c.clk.Now().After(deadline) {
 			return 0, ErrTimeout
 		}
-		time.Sleep(time.Millisecond)
+		c.clk.Sleep(time.Millisecond)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 )
 
 // Adversary presets used across experiments and tests.
@@ -32,15 +33,24 @@ type Crasher interface {
 	Resume(id int)
 }
 
-// Schedule drives timed crash/resume events against a Crasher.
+// Schedule drives timed crash/resume events against a Crasher. Events run
+// on the schedule's clock: under a virtual clock they become deterministic
+// simulation tasks, firing at exact virtual instants.
 type Schedule struct {
+	clk     simclock.Clock
 	mu      sync.Mutex
-	timers  []*time.Timer
+	timers  []simclock.Timer
 	stopped bool
 }
 
-// NewSchedule returns an empty schedule.
-func NewSchedule() *Schedule { return &Schedule{} }
+// NewSchedule returns an empty schedule on the real clock.
+func NewSchedule() *Schedule { return NewScheduleClocked(nil) }
+
+// NewScheduleClocked returns an empty schedule whose events fire on clk
+// (nil means the real clock).
+func NewScheduleClocked(clk simclock.Clock) *Schedule {
+	return &Schedule{clk: simclock.Or(clk)}
+}
 
 // CrashAt crashes node id on target after delay d.
 func (s *Schedule) CrashAt(target Crasher, id int, d time.Duration) {
@@ -65,7 +75,7 @@ func (s *Schedule) at(d time.Duration, f func()) {
 	if s.stopped {
 		return
 	}
-	s.timers = append(s.timers, time.AfterFunc(d, f))
+	s.timers = append(s.timers, s.clk.AfterFunc(d, f))
 }
 
 // Stop cancels all pending events.

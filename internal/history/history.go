@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 )
 
@@ -74,16 +75,23 @@ type Op struct {
 	Snapshot types.RegVector
 }
 
-// Recorder collects operations concurrently.
+// Recorder collects operations concurrently. Invocation and return
+// instants come from its clock, so histories recorded under a virtual
+// clock carry exact simulated real-time order.
 type Recorder struct {
+	clk        simclock.Clock
 	mu         sync.Mutex
 	ops        []*Op
 	writeCount map[int]int64
 }
 
-// NewRecorder returns an empty history recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{writeCount: make(map[int]int64)}
+// NewRecorder returns an empty history recorder stamping real time.
+func NewRecorder() *Recorder { return NewRecorderClocked(nil) }
+
+// NewRecorderClocked returns an empty history recorder stamping ops with
+// clk (nil means the real clock).
+func NewRecorderClocked(clk simclock.Clock) *Recorder {
+	return &Recorder{clk: simclock.Or(clk), writeCount: make(map[int]int64)}
 }
 
 // BeginWrite records the invocation of a write at node id and returns a
@@ -94,14 +102,14 @@ func (r *Recorder) BeginWrite(id int, v types.Value) (end func()) {
 	r.mu.Lock()
 	r.writeCount[id]++
 	op := &Op{
-		Node: id, Kind: KindWrite, Invoke: time.Now(),
+		Node: id, Kind: KindWrite, Invoke: r.clk.Now(),
 		WriteIndex: r.writeCount[id], WriteValue: v.Clone(),
 	}
 	r.ops = append(r.ops, op)
 	r.mu.Unlock()
 	return func() {
 		r.mu.Lock()
-		op.Return = time.Now()
+		op.Return = r.clk.Now()
 		op.Returned = true
 		r.mu.Unlock()
 	}
@@ -111,12 +119,12 @@ func (r *Recorder) BeginWrite(id int, v types.Value) (end func()) {
 // a completion callback taking the returned vector.
 func (r *Recorder) BeginSnapshot(id int) (end func(types.RegVector)) {
 	r.mu.Lock()
-	op := &Op{Node: id, Kind: KindSnapshot, Invoke: time.Now()}
+	op := &Op{Node: id, Kind: KindSnapshot, Invoke: r.clk.Now()}
 	r.ops = append(r.ops, op)
 	r.mu.Unlock()
 	return func(v types.RegVector) {
 		r.mu.Lock()
-		op.Return = time.Now()
+		op.Return = r.clk.Now()
 		op.Returned = true
 		op.Snapshot = v.Clone()
 		r.mu.Unlock()

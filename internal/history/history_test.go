@@ -1,6 +1,7 @@
 package history
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -170,6 +171,138 @@ func TestChecker_WriteIndexGap(t *testing.T) {
 	v := CheckOps(ops)
 	if v == nil || v.Rule != "write-indexing" {
 		t.Errorf("index gap not flagged: %v", v)
+	}
+}
+
+// TestChecker_RejectsEachInvariantViolation is the checker's negative
+// suite: one minimal failing history per invariant branch, each asserted
+// to be rejected under the precise rule (and detail) that names it. A
+// checker that silently stops distinguishing rules — or stops firing one —
+// would let the chaos harness report "linearizable" for the wrong reason.
+func TestChecker_RejectsEachInvariantViolation(t *testing.T) {
+	cases := []struct {
+		name       string
+		ops        []*Op
+		wantRule   string
+		wantDetail string
+	}{
+		{
+			// Rule 1, branch ts=0: a zero index must carry ⊥, not a value.
+			name: "content/value-at-ts-zero",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(types.TSValue{TS: 0, Val: types.Value("junk")}, e(0, "")), 20, 30),
+			},
+			wantRule:   "content",
+			wantDetail: "ts=0",
+		},
+		{
+			// Rule 1, branch ts out of range: index above the writes issued.
+			name: "content/phantom-index",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(e(7, "ghost"), e(0, "")), 20, 30),
+			},
+			wantRule:   "content",
+			wantDetail: "issued only 1 writes",
+		},
+		{
+			// Rule 1, branch ts out of range: a negative index (possible
+			// after a transient fault) is as illegal as a phantom one.
+			name: "content/negative-index",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(types.TSValue{TS: -3, Val: types.Value("a")}, e(0, "")), 20, 30),
+			},
+			wantRule:   "content",
+			wantDetail: "ts=-3",
+		},
+		{
+			// Rule 1, branch value mismatch: right index, wrong payload.
+			name: "content/wrong-value",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(e(1, "WRONG"), e(0, "")), 20, 30),
+			},
+			wantRule:   "content",
+			wantDetail: "write 1 wrote",
+		},
+		{
+			// Rule 2: two snapshots that each saw only "their" write cannot
+			// be ordered — the classic split-brain result.
+			name: "comparability/split-brain",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				wOp(1, 1, "b", 0, 10),
+				sOp(2, vec(e(1, "a"), e(0, "")), 20, 30),
+				sOp(3, vec(e(0, ""), e(1, "b")), 20, 30),
+			},
+			wantRule:   "comparability",
+			wantDetail: "incomparable",
+		},
+		{
+			// Rule 3: a snapshot that returned strictly before another was
+			// invoked may not observe a larger vector — new/old inversion.
+			name: "snapshot-realtime/new-old-inversion",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(e(1, "a")), 20, 30),
+				sOp(2, vec(e(0, "")), 40, 50),
+			},
+			wantRule:   "snapshot-realtime",
+			wantDetail: "returned before",
+		},
+		{
+			// Rule 4, visibility direction: a write that completed before
+			// the snapshot began must be included.
+			name: "write-ordering/completed-write-missing",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				sOp(1, vec(e(0, "")), 20, 30),
+			},
+			wantRule:   "write-visibility",
+			wantDetail: "returned before snapshot",
+		},
+		{
+			// Rule 4, freshness direction: a snapshot that returned before a
+			// write was invoked cannot already contain it.
+			name: "write-ordering/future-write-included",
+			ops: []*Op{
+				sOp(1, vec(e(1, "a")), 0, 10),
+				wOp(0, 1, "a", 20, 30),
+			},
+			wantRule:   "write-freshness",
+			wantDetail: "yet includes",
+		},
+		{
+			// Index hygiene: the SWMR encoding requires consecutive indices;
+			// a gap means the recorder contract was broken upstream.
+			name: "write-indexing/gap",
+			ops: []*Op{
+				wOp(0, 1, "a", 0, 10),
+				wOp(0, 3, "c", 20, 30),
+			},
+			wantRule:   "write-indexing",
+			wantDetail: "not consecutive",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			v := CheckOps(tc.ops)
+			if v == nil {
+				t.Fatal("violating history accepted")
+			}
+			if v.Rule != tc.wantRule {
+				t.Fatalf("flagged under rule %q, want %q (%s)", v.Rule, tc.wantRule, v.Detail)
+			}
+			if !strings.Contains(v.Detail, tc.wantDetail) {
+				t.Errorf("detail %q does not mention %q", v.Detail, tc.wantDetail)
+			}
+			if !strings.Contains(v.Error(), tc.wantRule) {
+				t.Errorf("Error() %q does not name the rule", v.Error())
+			}
+		})
 	}
 }
 

@@ -11,29 +11,47 @@
 // internal/transporttest asserts against both. The queue is generic so the
 // same code bounds message inboxes (*wire.Message) and encoded frame
 // outboxes ([]byte).
+//
+// Pop blocks through a simclock.Clock rather than a sync.Cond, so a queue
+// built on a virtual clock parks its consumer as a schedulable task inside
+// the deterministic simulation. The signal is sticky (a Set before the
+// consumer parks is not lost), which is what makes the unlock-then-wait
+// window below safe.
 package mailbox
 
-import "sync"
+import (
+	"sync"
+
+	"selfstabsnap/internal/simclock"
+)
 
 // Queue is a bounded FIFO with blocking receive. When full, the oldest
-// element is discarded. The zero value is not usable; construct with New.
-// All methods are safe for concurrent use.
+// element is discarded. The zero value is not usable; construct with New
+// or NewClocked. All methods are safe for concurrent use.
 type Queue[T any] struct {
+	clk    simclock.Clock
+	avail  simclock.Signal
+	wait   []simclock.Waitable // 1-element list, hoisted so Pop stays allocation-free
 	mu     sync.Mutex
-	cond   *sync.Cond
 	buf    []T
 	head   int
 	count  int
 	closed bool
 }
 
-// New creates a queue holding at most capacity elements (minimum 1).
+// New creates a queue holding at most capacity elements (minimum 1),
+// blocking on the real clock.
 func New[T any](capacity int) *Queue[T] {
+	return NewClocked[T](simclock.Real(), capacity)
+}
+
+// NewClocked creates a queue whose Pop parks through clk.
+func NewClocked[T any](clk simclock.Clock, capacity int) *Queue[T] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	q := &Queue[T]{buf: make([]T, capacity)}
-	q.cond = sync.NewCond(&q.mu)
+	q := &Queue[T]{clk: clk, avail: clk.NewSignal(), buf: make([]T, capacity)}
+	q.wait = []simclock.Waitable{q.avail}
 	return q
 }
 
@@ -42,8 +60,8 @@ func New[T any](capacity int) *Queue[T] {
 // discarded and report false.
 func (q *Queue[T]) Push(v T) (evicted bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
 	if q.count == len(q.buf) {
@@ -55,27 +73,41 @@ func (q *Queue[T]) Push(v T) (evicted bool) {
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = v
 	q.count++
-	q.cond.Signal()
+	q.mu.Unlock()
+	q.avail.Set()
 	return evicted
 }
 
 // Pop blocks until an element is available or the queue is closed. After
 // close, buffered elements are still drained; ok is false once empty.
 func (q *Queue[T]) Pop() (T, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.count == 0 && !q.closed {
-		q.cond.Wait()
+	for {
+		q.mu.Lock()
+		if q.count > 0 {
+			var zero T
+			v := q.buf[q.head]
+			q.buf[q.head] = zero
+			q.head = (q.head + 1) % len(q.buf)
+			q.count--
+			more := q.count > 0
+			closed := q.closed
+			q.mu.Unlock()
+			if more || closed {
+				// Signal consumption is wake-one: re-arm for the next
+				// consumer so multi-consumer drains stay live.
+				q.avail.Set()
+			}
+			return v, true
+		}
+		if q.closed {
+			var zero T
+			q.mu.Unlock()
+			q.avail.Set() // propagate the close wake-up to other consumers
+			return zero, false
+		}
+		q.mu.Unlock()
+		q.clk.Wait(q.wait...)
 	}
-	var zero T
-	if q.count == 0 {
-		return zero, false
-	}
-	v := q.buf[q.head]
-	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
-	q.count--
-	return v, true
 }
 
 // Drain discards all queued elements (used when a node crashes with a
@@ -93,9 +125,9 @@ func (q *Queue[T]) Drain() {
 // Close wakes all receivers; subsequent Pops return false once empty.
 func (q *Queue[T]) Close() {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.closed = true
-	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.avail.Set()
 }
 
 // Len returns the number of queued elements.

@@ -18,6 +18,7 @@ import (
 
 	"selfstabsnap/internal/mailbox"
 	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -112,6 +113,13 @@ type Config struct {
 	InboxCap  int       // bounded channel capacity per node (default 4096)
 	Adversary Adversary // link misbehaviour
 	Trace     TraceHook // optional send/deliver observer (may be nil)
+
+	// Clock drives delivery deadlines, trace timestamps and the delivery
+	// goroutine's blocking. nil means the real clock; a *simclock.Virtual
+	// makes message latency part of the deterministic simulation (delays
+	// resolve in virtual time, and the delivery loop runs as a scheduler
+	// task).
+	Clock simclock.Clock
 }
 
 // TraceHook observes message events. Implementations must be fast and
@@ -124,6 +132,7 @@ type TraceHook interface {
 // Network is the in-memory simulated transport.
 type Network struct {
 	cfg      Config
+	clk      simclock.Clock
 	inboxes  []*mailbox.Queue[*wire.Message]
 	counters metrics.Counters
 
@@ -144,9 +153,10 @@ type Network struct {
 	pendMu    sync.Mutex
 	pendHeap  pendingHeap
 	pendOrder uint64
-	wake      chan struct{}
-	done      chan struct{}
-	loopWg    sync.WaitGroup
+	wake      simclock.Signal
+	done      simclock.Event
+	waitIdle  []simclock.Waitable // {done, wake}, hoisted for the idle wait
+	loopWg    *simclock.Group
 }
 
 // New creates a simulated network for cfg.N nodes. The adversary's delay
@@ -156,19 +166,23 @@ func New(cfg Config) *Network {
 		cfg.InboxCap = 4096
 	}
 	cfg.Adversary = cfg.Adversary.normalized()
+	clk := simclock.Or(cfg.Clock)
 	n := &Network{
 		cfg:     cfg,
+		clk:     clk,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		blocked: make(map[[2]int]bool),
-		wake:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
+		wake:    clk.NewSignal(),
+		done:    clk.NewEvent(),
+		loopWg:  clk.NewGroup(),
 	}
+	n.waitIdle = []simclock.Waitable{n.done, n.wake}
 	n.inboxes = make([]*mailbox.Queue[*wire.Message], cfg.N)
 	for i := range n.inboxes {
-		n.inboxes[i] = mailbox.New[*wire.Message](cfg.InboxCap)
+		n.inboxes[i] = mailbox.NewClocked[*wire.Message](clk, cfg.InboxCap)
 	}
 	n.loopWg.Add(1)
-	go n.deliveryLoop()
+	clk.Go("netsim-delivery", n.deliveryLoop)
 	return n
 }
 
@@ -229,7 +243,7 @@ func (n *Network) dispatch(from, to int, env *wire.Message, copies int, delays [
 			n.deliver(from, to, dup)
 			continue
 		}
-		n.schedule(time.Now().Add(delays[i]), from, to, dup)
+		n.schedule(n.clk.Now().Add(delays[i]), from, to, dup)
 	}
 }
 
@@ -267,7 +281,7 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 	c.From, c.To, c.Seq = int32(from), int32(to), seq
 	n.counters.RecordSend(c.Type, c.Size())
 	if n.cfg.Trace != nil {
-		n.cfg.Trace.OnSend(from, to, c, time.Now())
+		n.cfg.Trace.OnSend(from, to, c, n.clk.Now())
 	}
 	n.dispatch(from, to, c, copies, delays)
 }
@@ -308,7 +322,7 @@ func (n *Network) SendMany(from int, to []int, m *wire.Message) {
 		env := master.ShallowClone()
 		env.From, env.To, env.Seq = int32(from), int32(k), seq
 		if n.cfg.Trace != nil {
-			n.cfg.Trace.OnSend(from, k, env, time.Now())
+			n.cfg.Trace.OnSend(from, k, env, n.clk.Now())
 		}
 		n.dispatch(from, k, env, copies, delays)
 	}
@@ -330,7 +344,7 @@ func (n *Network) deliver(from, to int, m *wire.Message) {
 		n.counters.RecordEviction()
 	}
 	if n.cfg.Trace != nil {
-		n.cfg.Trace.OnDeliver(from, to, m, time.Now())
+		n.cfg.Trace.OnDeliver(from, to, m, n.clk.Now())
 	}
 }
 
@@ -384,7 +398,7 @@ func (n *Network) Close() {
 	}
 	n.closed = true
 	n.mu.Unlock()
-	close(n.done)
+	n.done.Fire()
 	n.loopWg.Wait()
 	for _, q := range n.inboxes {
 		q.Close()

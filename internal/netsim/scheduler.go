@@ -46,10 +46,7 @@ func (n *Network) schedule(due time.Time, from, to int, m *wire.Message) {
 	n.pendOrder++
 	heap.Push(&n.pendHeap, delayedPacket{due: due, order: n.pendOrder, from: from, to: to, m: m})
 	n.pendMu.Unlock()
-	select {
-	case n.wake <- struct{}{}:
-	default:
-	}
+	n.wake.Set()
 }
 
 // pendingLen reports the number of not-yet-delivered delayed packets.
@@ -59,19 +56,18 @@ func (n *Network) pendingLen() int {
 	return n.pendHeap.Len()
 }
 
-// deliveryLoop is the Network's single delivery goroutine: it sleeps until
-// the earliest pending deadline, delivers everything due, and exits as soon
-// as Close signals — packets still pending are then simply lost, which the
-// closed network would have discarded anyway.
+// deliveryLoop is the Network's single delivery goroutine (a scheduler
+// task under a virtual clock): it sleeps until the earliest pending
+// deadline, delivers everything due, and exits as soon as Close signals —
+// packets still pending are then simply lost, which the closed network
+// would have discarded anyway. Under the virtual clock the timer wait is
+// what pulls simulated time forward to the next delivery deadline when the
+// cluster is otherwise quiescent.
 func (n *Network) deliveryLoop() {
 	defer n.loopWg.Done()
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
 	for {
 		n.pendMu.Lock()
-		now := time.Now()
+		now := n.clk.Now()
 		var due []delayedPacket
 		for n.pendHeap.Len() > 0 && !n.pendHeap[0].due.After(now) {
 			due = append(due, heap.Pop(&n.pendHeap).(delayedPacket))
@@ -89,25 +85,19 @@ func (n *Network) deliveryLoop() {
 			continue // new packets may have become due while delivering
 		}
 
+		if n.done.Fired() {
+			return
+		}
 		if wait < 0 {
-			select {
-			case <-n.wake:
-			case <-n.done:
+			if n.clk.Wait(n.waitIdle...) == 0 {
 				return
 			}
 			continue
 		}
-		timer.Reset(wait)
-		select {
-		case <-timer.C:
-		case <-n.wake:
-			if !timer.Stop() {
-				<-timer.C
-			}
-		case <-n.done:
-			if !timer.Stop() {
-				<-timer.C
-			}
+		tm := n.clk.NewTimer(wait)
+		stop := n.clk.Wait(n.done, n.wake, tm) == 0
+		tm.Stop()
+		if stop {
 			return
 		}
 	}

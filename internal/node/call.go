@@ -1,8 +1,7 @@
 package node
 
 import (
-	"time"
-
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -14,7 +13,7 @@ type call struct {
 	mu      chan struct{} // 1-buffered semaphore guarding senders/msgs
 	senders map[int32]struct{}
 	msgs    []*wire.Message
-	notify  chan struct{}
+	notify  simclock.Signal
 }
 
 func (c *call) offer(m *wire.Message) {
@@ -31,10 +30,7 @@ func (c *call) offer(m *wire.Message) {
 		// immutable by the transport contract, and the algorithms' merge
 		// paths only read Rec payloads (adopting entries by reference).
 		c.msgs = append(c.msgs, m.ShallowClone())
-		select {
-		case c.notify <- struct{}{}:
-		default:
-		}
+		c.notify.Set()
 	}
 	<-c.mu
 }
@@ -106,7 +102,7 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 		quorum = r.Majority()
 	}
 
-	crashCh, _, err := r.crashSignal()
+	crashEv, _, err := r.crashSignal()
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +111,7 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 		accept:  o.Accept,
 		mu:      make(chan struct{}, 1),
 		senders: make(map[int32]struct{}),
-		notify:  make(chan struct{}, 1),
+		notify:  r.clk.NewSignal(),
 	}
 	r.mu.Lock()
 	r.collector.next++
@@ -130,7 +126,7 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 		r.mu.Unlock()
 	}()
 
-	retx := time.NewTicker(r.opts.RetxInterval)
+	retx := r.clk.NewTicker(r.opts.RetxInterval)
 	defer retx.Stop()
 
 	transmit := func() {
@@ -145,13 +141,14 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 	}
 	transmit()
 
+	ws := []simclock.Waitable{r.closeEv, crashEv, c.notify, retx}
 	for {
-		select {
-		case <-r.closeCh:
+		switch r.clk.Wait(ws...) {
+		case 0:
 			return nil, ErrClosed
-		case <-crashCh:
+		case 1:
 			return nil, ErrCrashed
-		case <-c.notify:
+		case 2:
 			n, msgs := c.snapshot()
 			if n >= quorum {
 				return msgs, nil
@@ -159,7 +156,7 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 			if o.Stop != nil && o.Stop() {
 				return msgs, nil
 			}
-		case <-retx.C:
+		case 3:
 			if o.Stop != nil && o.Stop() {
 				_, msgs := c.snapshot()
 				return msgs, nil
@@ -173,22 +170,22 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 // and waking on crash/close. It implements the pseudocode's "wait until"
 // statements. check may take the algorithm lock.
 func (r *Runtime) WaitUntil(check func() bool) error {
-	crashCh, _, err := r.crashSignal()
+	crashEv, _, err := r.crashSignal()
 	if err != nil {
 		return err
 	}
-	t := time.NewTicker(r.opts.LoopInterval)
+	t := r.clk.NewTicker(r.opts.LoopInterval)
 	defer t.Stop()
+	ws := []simclock.Waitable{r.closeEv, crashEv, t}
 	for {
 		if check() {
 			return nil
 		}
-		select {
-		case <-r.closeCh:
+		switch r.clk.Wait(ws...) {
+		case 0:
 			return ErrClosed
-		case <-crashCh:
+		case 1:
 			return ErrCrashed
-		case <-t.C:
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 	"selfstabsnap/internal/wire"
 )
@@ -21,7 +22,7 @@ func TestCallAcksNotAliased(t *testing.T) {
 			accept:  func(*wire.Message) bool { return true },
 			mu:      make(chan struct{}, 1),
 			senders: make(map[int32]struct{}),
-			notify:  make(chan struct{}, 1),
+			notify:  simclock.Real().NewSignal(),
 		}
 	}
 	c1, c2 := newCall(), newCall()

@@ -22,11 +22,13 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -53,6 +55,10 @@ type Options struct {
 	// RetxInterval is the retransmission period of unacknowledged quorum
 	// calls (default 5ms).
 	RetxInterval time.Duration
+	// Clock drives the do-forever loop, retransmission and every blocking
+	// wait. nil means the real clock; pass the cluster's *simclock.Virtual
+	// to run the node as deterministic scheduler tasks.
+	Clock simclock.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +68,7 @@ func (o Options) withDefaults() Options {
 	if o.RetxInterval <= 0 {
 		o.RetxInterval = 5 * time.Millisecond
 	}
+	o.Clock = simclock.Or(o.Clock)
 	return o
 }
 
@@ -73,14 +80,15 @@ type Runtime struct {
 	opts Options
 
 	alg Algorithm
+	clk simclock.Clock
 
 	mu        sync.Mutex
 	crashed   bool
 	closed    bool
-	crashGen  uint64        // incremented on every crash, for call abortion
-	crashCh   chan struct{} // closed on crash; replaced on resume
-	closeCh   chan struct{}
-	wg        sync.WaitGroup
+	crashGen  uint64         // incremented on every crash, for call abortion
+	crashEv   simclock.Event // fired on crash; replaced on resume
+	closeEv   simclock.Event
+	wg        *simclock.Group
 	collector struct {
 		next  uint64
 		calls map[uint64]*call
@@ -104,14 +112,17 @@ type Runtime struct {
 // NewRuntime creates a runtime for node id over tr running alg. Start must
 // be called before messages flow.
 func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runtime {
+	opts = opts.withDefaults()
 	r := &Runtime{
 		id:      id,
 		n:       tr.N(),
 		tr:      tr,
-		opts:    opts.withDefaults(),
+		opts:    opts,
 		alg:     alg,
-		crashCh: make(chan struct{}),
-		closeCh: make(chan struct{}),
+		clk:     opts.Clock,
+		crashEv: opts.Clock.NewEvent(),
+		closeEv: opts.Clock.NewEvent(),
+		wg:      opts.Clock.NewGroup(),
 	}
 	r.collector.calls = make(map[uint64]*call)
 	r.many, _ = tr.(netsim.ManySender)
@@ -142,8 +153,8 @@ func (r *Runtime) LoopCount() int64 { return r.loopCount.Load() }
 // Start launches the dispatcher and do-forever goroutines.
 func (r *Runtime) Start() {
 	r.wg.Add(2)
-	go r.dispatch()
-	go r.loop()
+	r.clk.Go(fmt.Sprintf("node%d-dispatch", r.id), r.dispatch)
+	r.clk.Go(fmt.Sprintf("node%d-loop", r.id), r.loop)
 }
 
 // Close permanently stops the runtime and waits for its goroutines. The
@@ -155,10 +166,10 @@ func (r *Runtime) Close() {
 		return
 	}
 	r.closed = true
-	close(r.closeCh)
+	r.closeEv.Fire()
 	if !r.crashed {
 		r.crashed = true
-		close(r.crashCh)
+		r.crashEv.Fire()
 	}
 	r.mu.Unlock()
 	r.tr.CloseEndpoint(r.id) // unblock the dispatcher's Recv
@@ -172,10 +183,8 @@ func (r *Runtime) dispatch() {
 		if !ok {
 			return
 		}
-		select {
-		case <-r.closeCh:
+		if r.closeEv.Fired() {
 			return
-		default:
 		}
 		if r.Crashed() {
 			continue // a crashed node takes no steps; arriving messages are lost
@@ -187,21 +196,20 @@ func (r *Runtime) dispatch() {
 
 func (r *Runtime) loop() {
 	defer r.wg.Done()
-	t := time.NewTicker(r.opts.LoopInterval)
+	t := r.clk.NewTicker(r.opts.LoopInterval)
 	defer t.Stop()
+	ws := []simclock.Waitable{r.closeEv, t}
 	for {
-		select {
-		case <-r.closeCh:
+		if r.clk.Wait(ws...) == 0 {
 			return
-		case <-t.C:
-			if r.Crashed() {
-				continue
-			}
-			r.tickActive.Store(true)
-			r.alg.Tick()
-			r.tickActive.Store(false)
-			r.loopCount.Add(1)
 		}
+		if r.Crashed() {
+			continue
+		}
+		r.tickActive.Store(true)
+		r.alg.Tick()
+		r.tickActive.Store(false)
+		r.loopCount.Add(1)
 	}
 }
 
@@ -222,7 +230,7 @@ func (r *Runtime) Crash() {
 	}
 	r.crashed = true
 	r.crashGen++
-	close(r.crashCh)
+	r.crashEv.Fire()
 }
 
 // Resume lets a crashed node take steps again without restarting its
@@ -234,7 +242,7 @@ func (r *Runtime) Resume() {
 		return
 	}
 	r.crashed = false
-	r.crashCh = make(chan struct{})
+	r.crashEv = r.clk.NewEvent()
 }
 
 // InboxDrainer is implemented by transports whose per-node channel content
@@ -258,9 +266,9 @@ func (r *Runtime) RestartDetectable(reset func()) {
 	r.Resume()
 }
 
-// crashSignal returns the channel closed at the next crash, plus the current
+// crashSignal returns the event fired at the next crash, plus the current
 // crash generation.
-func (r *Runtime) crashSignal() (<-chan struct{}, uint64, error) {
+func (r *Runtime) crashSignal() (simclock.Event, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -269,7 +277,7 @@ func (r *Runtime) crashSignal() (<-chan struct{}, uint64, error) {
 	if r.crashed {
 		return nil, 0, ErrCrashed
 	}
-	return r.crashCh, r.crashGen, nil
+	return r.crashEv, r.crashGen, nil
 }
 
 // Send transmits m to node `to` (metering and adversary handled by the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -168,40 +169,69 @@ func TestCallFailsWhenAlreadyCrashed(t *testing.T) {
 	}
 }
 
+// TestCrashStopsStepsAndResumeRestores runs on a virtual clock, which
+// turns what used to be sleep-and-hope timing windows (and a wall-clock
+// poll for the resumed node's first tick) into exact assertions: virtual
+// sleeps advance simulated time precisely, so a crashed node must tick
+// zero times and a resumed node must tick again within its loop interval,
+// deterministically, regardless of machine load.
 func TestCrashStopsStepsAndResumeRestores(t *testing.T) {
-	algs, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
-	time.Sleep(10 * time.Millisecond)
-	rts[1].Crash()
-	if !rts[1].Crashed() {
-		t.Fatal("not crashed")
-	}
-	ticksAtCrash := algs[1].ticks.Load()
-	time.Sleep(15 * time.Millisecond)
-	if got := algs[1].ticks.Load(); got != ticksAtCrash {
-		t.Errorf("crashed node ticked %d times", got-ticksAtCrash)
-	}
-	// Messages to a crashed node are lost (consumed without processing).
-	rts[0].Send(1, &wire.Message{Type: wire.TWrite, SSN: 5})
-	time.Sleep(10 * time.Millisecond)
-	algs[1].mu.Lock()
-	for _, m := range algs[1].received {
-		if m.SSN == 5 {
-			t.Error("crashed node processed a message")
+	v := simclock.NewVirtual()
+	v.Run("crash-resume-test", func() {
+		net := netsim.New(netsim.Config{N: 3, Seed: 77, Clock: v})
+		defer net.Close()
+		algs := make([]*echoAlg, 3)
+		rts := make([]*Runtime, 3)
+		for i := range rts {
+			algs[i] = &echoAlg{}
+			opts := fastOpts()
+			opts.Clock = v
+			rts[i] = NewRuntime(i, net, algs[i], opts)
+			algs[i].rt = rts[i]
 		}
-	}
-	algs[1].mu.Unlock()
+		defer func() {
+			for _, rt := range rts {
+				rt.Close()
+			}
+		}()
+		for _, rt := range rts {
+			rt.Start()
+		}
 
-	rts[1].Resume()
-	if rts[1].Crashed() {
-		t.Fatal("still crashed after resume")
-	}
-	deadline := time.Now().Add(time.Second)
-	for algs[1].ticks.Load() == ticksAtCrash {
-		if time.Now().After(deadline) {
-			t.Fatal("resumed node does not tick")
+		v.Sleep(10 * time.Millisecond)
+		rts[1].Crash()
+		if !rts[1].Crashed() {
+			t.Error("not crashed")
+			return
 		}
-		time.Sleep(time.Millisecond)
-	}
+		ticksAtCrash := algs[1].ticks.Load()
+		v.Sleep(15 * time.Millisecond)
+		if got := algs[1].ticks.Load(); got != ticksAtCrash {
+			t.Errorf("crashed node ticked %d times", got-ticksAtCrash)
+		}
+		// Messages to a crashed node are lost (consumed without processing).
+		rts[0].Send(1, &wire.Message{Type: wire.TWrite, SSN: 5})
+		v.Sleep(10 * time.Millisecond)
+		algs[1].mu.Lock()
+		for _, m := range algs[1].received {
+			if m.SSN == 5 {
+				t.Error("crashed node processed a message")
+			}
+		}
+		algs[1].mu.Unlock()
+
+		rts[1].Resume()
+		if rts[1].Crashed() {
+			t.Error("still crashed after resume")
+			return
+		}
+		// One loop interval of virtual time is exactly enough for the next
+		// do-forever iteration — no polling loop, no deadline slack.
+		v.Sleep(2 * fastOpts().LoopInterval)
+		if algs[1].ticks.Load() == ticksAtCrash {
+			t.Error("resumed node does not tick")
+		}
+	})
 }
 
 func TestLoopCountAdvances(t *testing.T) {

@@ -53,20 +53,23 @@ func TestStalledPeerDoesNotBlockSend(t *testing.T) {
 	// the writer in conn.Write long before the sends are done.
 	big := &wire.Message{Type: wire.TWrite, Reg: types.RegVector{{TS: 1, Val: make(types.Value, 64<<10)}}}
 	const sends = 200
-	var worst time.Duration
+	start := time.Now()
 	for i := 0; i < sends; i++ {
-		start := time.Now()
 		if i%2 == 0 {
 			tr.Send(0, 1, big)
 		} else {
 			tr.SendMany(0, []int{1}, big)
 		}
-		if d := time.Since(start); d > worst {
-			worst = d
-		}
 	}
-	if worst > 10*time.Millisecond {
-		t.Fatalf("send to a stalled peer took %v, want <10ms (outbox must absorb the stall)", worst)
+	// Aggregate bound, not per-send: a single send can eat a scheduler
+	// hiccup or GC pause on a loaded CI machine, which used to flake a
+	// <10ms worst-case assertion. The regression this guards — the old
+	// synchronous path paying up to WriteTimeout per send to a stalled
+	// peer — would cost hundreds of seconds across 200 sends, so a whole-
+	// loop budget separates the two behaviours just as sharply without
+	// depending on any single iteration's latency.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("%d sends to a stalled peer took %v, want ≪2s total (outbox must absorb the stall)", sends, elapsed)
 	}
 	if tr.Counters().Evictions() == 0 {
 		t.Error("stalled peer produced no sender-side outbox evictions")

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -36,13 +37,21 @@ type Event struct {
 
 // Recorder implements netsim.TraceHook and accumulates events.
 type Recorder struct {
+	clk    simclock.Clock
 	mu     sync.Mutex
 	events []Event
 	filter map[wire.Type]bool // nil = record everything
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder returns an empty recorder stamping Marks with real time.
+func NewRecorder() *Recorder { return NewRecorderClocked(nil) }
+
+// NewRecorderClocked returns an empty recorder stamping Marks with clk
+// (nil means the real clock). Send/Deliver events carry the transport
+// clock timestamps either way.
+func NewRecorderClocked(clk simclock.Clock) *Recorder {
+	return &Recorder{clk: simclock.Or(clk)}
+}
 
 // SetFilter restricts recording to the given message types (nil resets to
 // record-everything). Gossip traffic, for example, can be filtered out to
@@ -82,7 +91,7 @@ func (r *Recorder) OnDeliver(from, to int, m *wire.Message, at time.Time) {
 
 // Mark inserts an annotation (e.g. "p0 invokes write(v1)").
 func (r *Recorder) Mark(node int, note string) {
-	r.record(Event{Kind: EvMark, At: time.Now(), From: node, To: node, Note: note})
+	r.record(Event{Kind: EvMark, At: r.clk.Now(), From: node, To: node, Note: note})
 }
 
 // Events returns a time-sorted copy of the recorded events.

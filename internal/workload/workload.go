@@ -9,12 +9,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"selfstabsnap/internal/core"
 	"selfstabsnap/internal/metrics"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 )
 
@@ -41,6 +41,11 @@ type ClosedLoopConfig struct {
 	Mix Mix
 	// Seed drives think times deterministically.
 	Seed int64
+	// Clock paces the run. nil means real time; the cluster's
+	// *simclock.Virtual makes the whole load deterministic. Pacing (think
+	// time) always happens outside the latency stamps, so recorded
+	// latencies measure the operation alone.
+	Clock simclock.Clock
 }
 
 // Report summarises a load run.
@@ -73,54 +78,56 @@ func RunClosedLoop(c *core.Cluster, cfg ClosedLoopConfig) Report {
 		cfg.ValueSize = 16
 	}
 
+	clk := simclock.Or(cfg.Clock)
 	var writes, snaps, errs atomic.Int64
 	var writeLat, snapLat metrics.LatencyRecorder
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	stop := clk.NewEvent()
+	wg := clk.NewGroup()
 
 	for id := 0; id < c.N(); id++ {
 		for w := 0; w < cfg.WorkersPerNode; w++ {
 			wg.Add(1)
-			go func(id, w int) {
+			id, w := id, w
+			clk.Go(fmt.Sprintf("workload-%d-%d", id, w), func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(id*131+w)))
 				payload := make(types.Value, cfg.ValueSize)
 				for j := 0; ; j++ {
-					select {
-					case <-stop:
+					if stop.Fired() {
 						return
-					default:
 					}
 					rng.Read(payload)
-					start := time.Now()
+					start := clk.Now()
 					if err := c.Write(id, payload); err != nil {
 						errs.Add(1)
 					} else {
 						writes.Add(1)
-						writeLat.Record(time.Since(start))
+						writeLat.Record(clk.Since(start))
 					}
 					if cfg.Mix.SnapshotEvery > 0 && j%cfg.Mix.SnapshotEvery == cfg.Mix.SnapshotEvery-1 {
-						start = time.Now()
+						start = clk.Now()
 						if _, err := c.Snapshot(id); err != nil {
 							errs.Add(1)
 						} else {
 							snaps.Add(1)
-							snapLat.Record(time.Since(start))
+							snapLat.Record(clk.Since(start))
 						}
 					}
 					if cfg.Think > 0 {
-						time.Sleep(time.Duration(rng.Int63n(int64(cfg.Think))))
+						// Pacing sleeps sit outside the latency stamps above:
+						// think time never pollutes the recorded op latency.
+						clk.Sleep(time.Duration(rng.Int63n(int64(cfg.Think))))
 					}
 				}
-			}(id, w)
+			})
 		}
 	}
 
-	start := time.Now()
-	time.Sleep(cfg.Duration)
-	close(stop)
+	start := clk.Now()
+	clk.Sleep(cfg.Duration)
+	stop.Fire()
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	r := Report{
 		Writes: writes.Load(), Snapshots: snaps.Load(), Errors: errs.Load(),
@@ -144,6 +151,10 @@ type OpenLoopConfig struct {
 	ValueSize  int
 	Mix        Mix
 	Seed       int64
+	// Clock paces arrivals. nil means real time. Latency is stamped when
+	// the operation actually issues, after the pacing sleep, so arrival
+	// pacing is subtracted from recorded latencies.
+	Clock simclock.Clock
 }
 
 // RunOpenLoop drives the cluster with Poisson arrivals and reports.
@@ -158,12 +169,13 @@ func RunOpenLoop(c *core.Cluster, cfg OpenLoopConfig) Report {
 		cfg.ValueSize = 16
 	}
 
+	clk := simclock.Or(cfg.Clock)
 	var writes, snaps, errs atomic.Int64
 	var writeLat, snapLat metrics.LatencyRecorder
-	var wg sync.WaitGroup
+	wg := clk.NewGroup()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	start := time.Now()
+	start := clk.Now()
 	deadline := start.Add(cfg.Duration)
 	next := start
 	for i := 0; ; i++ {
@@ -176,20 +188,23 @@ func RunOpenLoop(c *core.Cluster, cfg OpenLoopConfig) Report {
 		if next.After(deadline) {
 			break
 		}
-		time.Sleep(time.Until(next))
+		clk.Sleep(next.Sub(clk.Now()))
 		id := i % c.N()
 		isSnap := cfg.Mix.SnapshotEvery > 0 && i%cfg.Mix.SnapshotEvery == cfg.Mix.SnapshotEvery-1
+		seed := cfg.Seed + int64(i)
 		wg.Add(1)
-		go func(id int, isSnap bool, seed int64) {
+		clk.Go(fmt.Sprintf("openloop-%d", i), func() {
 			defer wg.Done()
-			opStart := time.Now()
+			// Stamped when the op issues, after the pacing sleep: arrival
+			// pacing (and any pacer overshoot) is subtracted from latency.
+			opStart := clk.Now()
 			if isSnap {
 				if _, err := c.Snapshot(id); err != nil {
 					errs.Add(1)
 					return
 				}
 				snaps.Add(1)
-				snapLat.Record(time.Since(opStart))
+				snapLat.Record(clk.Since(opStart))
 				return
 			}
 			payload := make(types.Value, cfg.ValueSize)
@@ -199,11 +214,11 @@ func RunOpenLoop(c *core.Cluster, cfg OpenLoopConfig) Report {
 				return
 			}
 			writes.Add(1)
-			writeLat.Record(time.Since(opStart))
-		}(id, isSnap, cfg.Seed+int64(i))
+			writeLat.Record(clk.Since(opStart))
+		})
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	r := Report{
 		Writes: writes.Load(), Snapshots: snaps.Load(), Errors: errs.Load(),
