@@ -10,14 +10,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"selfstabsnap/internal/bench"
+	"selfstabsnap/internal/obs"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.Bool("json", false, "write BENCH_<ID>.json per experiment (see -outdir)")
 		outDir  = flag.String("outdir", ".", "directory for -json output files")
+		obsAddr = flag.String("obs", "", "observability HTTP address for sweep progress and pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -58,11 +62,49 @@ func main() {
 		}
 	}
 
+	// Sweep progress, published to /statusz so a long -exp all run can be
+	// watched (and profiled via /debug/pprof/) from outside.
+	var progMu sync.Mutex
+	type progress struct {
+		Started   time.Time `json:"started"`
+		Total     int       `json:"experiments_total"`
+		Done      int       `json:"experiments_done"`
+		Current   string    `json:"current"`
+		Completed []string  `json:"completed"`
+	}
+	prog := progress{Started: time.Now(), Total: len(selected)}
+	if *obsAddr != "" {
+		srv := obs.NewServer(*obsAddr)
+		srv.SetStatus(func() any {
+			progMu.Lock()
+			defer progMu.Unlock()
+			return prog
+		})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability on http://%s (/metrics /statusz /debug/pprof/)\n\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
+	}
+
 	params := bench.Params{Quick: *quick}
 	for _, e := range selected {
+		progMu.Lock()
+		prog.Current = e.ID
+		progMu.Unlock()
 		start := time.Now()
 		tables := e.Run(params)
 		elapsed := time.Since(start)
+		progMu.Lock()
+		prog.Done++
+		prog.Completed = append(prog.Completed, e.ID)
+		prog.Current = ""
+		progMu.Unlock()
 		for _, t := range tables {
 			fmt.Println(t.String())
 		}

@@ -23,16 +23,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"selfstabsnap/internal/chaos"
 	"selfstabsnap/internal/core"
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/obs"
 )
 
 var algorithms = map[string]core.Algorithm{
@@ -62,6 +65,8 @@ func main() {
 		campaign  = flag.Bool("campaign", false, "campaign mode: shard seeds across workers, virtual time, minimize failures")
 		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
 		out       = flag.String("out", "", "campaign mode: write failures (seed + minimized schedule) as JSON to this file")
+		obsAddr   = flag.String("obs", "", "observability HTTP address for fuzz progress and pprof (empty = disabled)")
+		statsEach = flag.Duration("stats-every", 0, "sequential mode: print in-run progress every interval of the run's clock (0 = off)")
 	)
 	flag.Parse()
 
@@ -84,8 +89,28 @@ func main() {
 		Virtual: *virtual,
 	}
 
+	prog := newFuzzProgress(*runs)
+	shutdownObs := func() {}
+	if *obsAddr != "" {
+		srv := obs.NewServer(*obsAddr)
+		srv.SetStatus(prog.status)
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability on http://%s (/metrics /statusz /debug/pprof/)\n\n", srv.Addr())
+		shutdownObs = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}
+		defer shutdownObs()
+	}
+
 	if *campaign {
-		os.Exit(runCampaign(base, *seed, *runs, *workers, *out))
+		code := runCampaign(base, *seed, *runs, *workers, *out, prog)
+		shutdownObs()
+		os.Exit(code)
 	}
 
 	fmt.Printf("fuzzing %s: n=%d runs=%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v virtual=%v\n\n",
@@ -97,20 +122,80 @@ func main() {
 		s := *seed + int64(i)
 		cfg := base
 		cfg.Seed = s
+		if *statsEach > 0 {
+			cfg.StatsEvery = *statsEach
+			cfg.OnStats = func(st chaos.Stats) { fmt.Printf("seed %-6d … %s\n", s, st) }
+		}
+		prog.startSeed(s)
 		res, err := chaos.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: setup error: %v\n", s, err)
+			shutdownObs()
 			os.Exit(1)
 		}
 		fmt.Printf("seed %-6d %s\n", s, res)
 		totalOps += res.Writes + res.Snapshots
+		prog.finishSeed(res, res.Violation != nil)
 		if res.Violation != nil {
 			fmt.Fprintf(os.Stderr, "\nVIOLATION at seed %d — replay with -seed %d -runs 1\n", s, s)
+			shutdownObs()
 			os.Exit(1)
 		}
 	}
 	fmt.Printf("\n%d runs, %d operations, 0 violations in %v\n",
 		*runs, totalOps, time.Since(start).Round(time.Millisecond))
+}
+
+// fuzzProgress is the /statusz document of a fuzzing process, updated by
+// both the sequential loop and the campaign progress callback.
+type fuzzProgress struct {
+	mu sync.Mutex
+	v  struct {
+		Started     time.Time `json:"started"`
+		RunsTotal   int       `json:"runs_total"`
+		RunsDone    int       `json:"runs_done"`
+		CurrentSeed int64     `json:"current_seed"`
+		Writes      int64     `json:"writes"`
+		Snapshots   int64     `json:"snapshots"`
+		Failures    int       `json:"failures"`
+	}
+}
+
+func newFuzzProgress(total int) *fuzzProgress {
+	p := &fuzzProgress{}
+	p.v.Started = time.Now()
+	p.v.RunsTotal = total
+	return p
+}
+
+func (p *fuzzProgress) status() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.v
+}
+
+func (p *fuzzProgress) startSeed(s int64) {
+	p.mu.Lock()
+	p.v.CurrentSeed = s
+	p.mu.Unlock()
+}
+
+func (p *fuzzProgress) finishSeed(res chaos.Result, failed bool) {
+	p.mu.Lock()
+	p.v.RunsDone++
+	p.v.Writes += res.Writes
+	p.v.Snapshots += res.Snapshots
+	if failed {
+		p.v.Failures++
+	}
+	p.mu.Unlock()
+}
+
+func (p *fuzzProgress) campaignTick(done, failures int) {
+	p.mu.Lock()
+	p.v.RunsDone = done
+	p.v.Failures = failures
+	p.mu.Unlock()
 }
 
 // campaignFailure is the JSON artifact shape for one failing seed.
@@ -122,7 +207,7 @@ type campaignFailure struct {
 	Minimized []chaos.FaultEvent `json:"minimized,omitempty"`
 }
 
-func runCampaign(base chaos.Config, fromSeed int64, runs, workers int, out string) int {
+func runCampaign(base chaos.Config, fromSeed int64, runs, workers int, out string, prog *fuzzProgress) int {
 	fmt.Printf("campaign %s: n=%d seeds=%d..%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v\n\n",
 		base.Algorithm, base.N, fromSeed, fromSeed+int64(runs)-1, base.Duration,
 		base.CrashRate, base.PartitionRate, base.Corrupt)
@@ -136,6 +221,7 @@ func runCampaign(base chaos.Config, fromSeed int64, runs, workers int, out strin
 		Workers:  workers,
 		Minimize: true,
 		Progress: func(done, total, failures int) {
+			prog.campaignTick(done, failures)
 			// One line per ~5% so CI logs stay readable.
 			if done*20/total > lastTick || done == total {
 				lastTick = done * 20 / total

@@ -9,12 +9,16 @@
 //	        -write hello -interval 1s -snapshot-every 3s
 //
 // Each node optionally writes a fresh value every -interval and prints a
-// snapshot every -snapshot-every. Stop with Ctrl-C.
+// snapshot every -snapshot-every. With -obs the node serves /metrics
+// (Prometheus), /statusz (JSON) and /debug/pprof/ on the given address —
+// see docs/OBSERVABILITY.md. Stop with Ctrl-C.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,11 +26,28 @@ import (
 	"time"
 
 	"selfstabsnap/internal/deltasnap"
+	"selfstabsnap/internal/metrics"
 	"selfstabsnap/internal/node"
 	"selfstabsnap/internal/nonblocking"
+	"selfstabsnap/internal/obs"
 	"selfstabsnap/internal/tcpnet"
 	"selfstabsnap/internal/types"
 )
+
+// regSummary is the per-register slice of the /statusz document.
+type regSummary struct {
+	Node  int   `json:"node"`
+	TS    int64 `json:"ts"`
+	Bytes int   `json:"bytes"`
+}
+
+func summarize(reg types.RegVector) []regSummary {
+	out := make([]regSummary, len(reg))
+	for k, e := range reg {
+		out[k] = regSummary{Node: k, TS: e.TS, Bytes: len(e.Val)}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -38,6 +59,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "write period")
 		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
 		inboxCap = flag.Int("inbox", 0, "bounded inbox capacity, drop-oldest on overflow (0 = default 4096)")
+		obsAddr  = flag.String("obs", "", "observability HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -53,28 +75,91 @@ func main() {
 	}
 	defer tr.Close()
 
-	opts := node.Options{LoopInterval: 50 * time.Millisecond, RetxInterval: 200 * time.Millisecond}
+	journal := obs.NewJournal(0)
+	opts := node.Options{
+		LoopInterval: 50 * time.Millisecond,
+		RetxInterval: 200 * time.Millisecond,
+		Journal:      journal,
+	}
 
 	type snapObj interface {
 		Write(types.Value) error
 		Snapshot() (types.RegVector, error)
 		Close()
+		Runtime() *node.Runtime
 	}
 	var obj snapObj
+	var registers func() []regSummary
 	switch strings.ToLower(*algName) {
 	case "ss-nonblocking":
 		nd := nonblocking.New(*id, tr, nonblocking.Config{SelfStabilizing: true, Runtime: opts})
 		nd.Start()
 		obj = nd
+		registers = func() []regSummary { return summarize(nd.StateSummary().Reg) }
 	case "ss-delta":
 		nd := deltasnap.New(*id, tr, deltasnap.Config{Delta: *delta, Runtime: opts})
 		nd.Start()
 		obj = nd
+		registers = func() []regSummary { return summarize(nd.StateSummary().Reg) }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
 		os.Exit(2)
 	}
 	defer obj.Close()
+
+	var writeLat, snapLat metrics.LatencyRecorder
+
+	if *obsAddr != "" {
+		srv := obs.NewServer(*obsAddr)
+		srv.AddCollector(func(w io.Writer) { tr.Counters().WritePrometheus(w) })
+		srv.AddCollector(func(w io.Writer) {
+			writeLat.Histogram().WritePrometheus(w, "selfstabsnap_write_latency_seconds")
+			snapLat.Histogram().WritePrometheus(w, "selfstabsnap_snapshot_latency_seconds")
+			fmt.Fprintf(w, "# TYPE selfstabsnap_loop_iterations_total counter\nselfstabsnap_loop_iterations_total %d\n",
+				obj.Runtime().LoopCount())
+			fmt.Fprintf(w, "# TYPE selfstabsnap_journal_events_total counter\nselfstabsnap_journal_events_total %d\n",
+				journal.Total())
+		})
+		srv.SetStatus(func() any {
+			return struct {
+				ID          int                `json:"id"`
+				Addr        string             `json:"addr"`
+				Algorithm   string             `json:"algorithm"`
+				N           int                `json:"n"`
+				LoopCount   int64              `json:"loop_count"`
+				LastTick    time.Time          `json:"last_tick"`
+				Registers   []regSummary       `json:"registers"`
+				EventCounts map[string]int64   `json:"event_counts"`
+				Recent      []obs.JournalEvent `json:"recent_events"`
+				WriteLat    string             `json:"write_latency"`
+				SnapLat     string             `json:"snapshot_latency"`
+				Traffic     string             `json:"traffic"`
+			}{
+				ID:          *id,
+				Addr:        tr.Addr(),
+				Algorithm:   strings.ToLower(*algName),
+				N:           len(addrs),
+				LoopCount:   obj.Runtime().LoopCount(),
+				LastTick:    obj.Runtime().LastTick(),
+				Registers:   registers(),
+				EventCounts: journal.Counts(),
+				Recent:      journal.Events(),
+				WriteLat:    writeLat.Stats().String(),
+				SnapLat:     snapLat.Stats().String(),
+				Traffic:     tr.Counters().Snapshot().String(),
+			}
+		})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability on http://%s (/metrics /statusz /debug/pprof/)\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain on exit
+		}()
+	}
 
 	fmt.Printf("node %d listening on %s (%s, %d peers)\n", *id, tr.Addr(), *algName, len(addrs))
 
@@ -108,7 +193,9 @@ func main() {
 				fmt.Printf("write %s: %v\n", v, err)
 				continue
 			}
-			fmt.Printf("wrote %q in %v\n", v, time.Since(start).Round(time.Millisecond))
+			d := time.Since(start)
+			writeLat.Record(d)
+			fmt.Printf("wrote %q in %v\n", v, d.Round(time.Millisecond))
 		case <-snapTick:
 			start := time.Now()
 			snap, err := obj.Snapshot()
@@ -116,7 +203,9 @@ func main() {
 				fmt.Printf("snapshot: %v\n", err)
 				continue
 			}
-			fmt.Printf("snapshot (%v): %s\n", time.Since(start).Round(time.Millisecond), snap)
+			d := time.Since(start)
+			snapLat.Record(d)
+			fmt.Printf("snapshot (%v): %s\n", d.Round(time.Millisecond), snap)
 		}
 	}
 }

@@ -320,6 +320,7 @@ func (b *Node) exec(res reset.Result) {
 	if res.Commit {
 		b.inner.ApplyReset()
 		b.resets.Add(1)
+		b.inner.Runtime().RecordEvent("global-reset", "bounded-counter epoch reset committed")
 		b.openGate()
 	}
 }

@@ -83,6 +83,13 @@ type Config struct {
 	// the seed and schedule.
 	Virtual bool
 
+	// StatsEvery, with OnStats, emits periodic progress callbacks on the
+	// run's clock (so under Virtual they tick in virtual time). Zero, or a
+	// nil OnStats, disables the reporter entirely: no extra timer joins
+	// the machine and deterministic trace hashes are unaffected.
+	StatsEvery time.Duration
+	OnStats    func(Stats)
+
 	// Hash computes Result.TraceHash and Result.HistoryHash. Only
 	// meaningful under Virtual, where event order is deterministic.
 	Hash bool
@@ -96,6 +103,21 @@ func (cfg Config) withDefaults() Config {
 		cfg.MaxThink = 2 * time.Millisecond
 	}
 	return cfg
+}
+
+// Stats is one periodic progress report of a running chaos schedule.
+type Stats struct {
+	Elapsed    time.Duration // time since the checked phase began, on the run's clock
+	Writes     int64
+	Snapshots  int64
+	Crashes    int64
+	Partitions int64
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("t=%v writes=%d snapshots=%d crashes=%d partitions=%d",
+		s.Elapsed, s.Writes, s.Snapshots, s.Crashes, s.Partitions)
 }
 
 // Result summarises a chaos run.
@@ -303,6 +325,29 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 				if think := cfg.MaxThink; think > 0 {
 					clk.Sleep(time.Duration(r.Int63n(int64(think))))
 				}
+			}
+		})
+	}
+
+	// Optional periodic progress reporter, ticking on the run's clock so a
+	// virtual run reports virtual elapsed time.
+	if cfg.StatsEvery > 0 && cfg.OnStats != nil {
+		wg.Add(1)
+		clk.Go("chaos-stats", func() {
+			defer wg.Done()
+			tk := clk.NewTicker(cfg.StatsEvery)
+			defer tk.Stop()
+			for {
+				if clk.Wait(stop, tk) == 0 {
+					return
+				}
+				cfg.OnStats(Stats{
+					Elapsed:    clk.Since(start),
+					Writes:     writes.Load(),
+					Snapshots:  snaps.Load(),
+					Crashes:    crashes.Load(),
+					Partitions: partitions.Load(),
+				})
 			}
 		})
 	}

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/core"
+)
+
+// TestStatsReporter: with StatsEvery set, a virtual run delivers periodic
+// progress callbacks in virtual time — monotone elapsed, monotone counts —
+// without disturbing the run itself.
+func TestStatsReporter(t *testing.T) {
+	var reports []Stats
+	res, err := Run(Config{
+		N: 3, Algorithm: core.NonBlockingSS, Seed: 7,
+		Duration:   300 * time.Millisecond,
+		Virtual:    true,
+		StatsEvery: 50 * time.Millisecond,
+		OnStats:    func(s Stats) { reports = append(reports, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	// 300ms / 50ms → 5 or 6 ticks depending on where stop lands.
+	if len(reports) < 4 {
+		t.Fatalf("got %d stats reports over 300ms at 50ms, want ≥ 4", len(reports))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Elapsed <= reports[i-1].Elapsed {
+			t.Errorf("elapsed not monotone: %v then %v", reports[i-1].Elapsed, reports[i].Elapsed)
+		}
+		if reports[i].Writes < reports[i-1].Writes || reports[i].Snapshots < reports[i-1].Snapshots {
+			t.Errorf("counts regressed: %v then %v", reports[i-1], reports[i])
+		}
+	}
+	last := reports[len(reports)-1]
+	if last.Writes > res.Writes || last.Snapshots > res.Snapshots {
+		t.Errorf("last report %v exceeds final result %v", last, res)
+	}
+	if s := last.String(); s == "" {
+		t.Error("empty Stats.String")
+	}
+}
+
+// TestStatsDisabledByDefault: without StatsEvery the callback never fires
+// (and, per the determinism tests, no extra timer perturbs trace hashes).
+func TestStatsDisabledByDefault(t *testing.T) {
+	called := false
+	_, err := Run(Config{
+		N: 3, Algorithm: core.NonBlockingSS, Seed: 7,
+		Duration: 100 * time.Millisecond,
+		Virtual:  true,
+		OnStats:  func(Stats) { called = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("OnStats fired without StatsEvery")
+	}
+}

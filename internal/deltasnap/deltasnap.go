@@ -224,8 +224,10 @@ func (nd *Node) Tick() {
 		}
 	}
 	// Line 77: corrupted own pndTsk entry.
+	pndRepaired := false
 	if nd.sns != nd.pndTsk[nd.id].sns {
 		nd.pndTsk[nd.id] = pnd{sns: nd.sns}
+		pndRepaired = true
 	}
 	// Line 78: gossip payloads (reg[k], pndTsk[k], sns) per peer. The sns
 	// value sent to p_k is pndTsk[k].sns — this node's knowledge of p_k's
@@ -247,6 +249,9 @@ func (nd *Node) Tick() {
 	pw := nd.writePending
 	nd.writePending = nil
 	nd.mu.Unlock()
+	if pndRepaired {
+		nd.rt.RecordEvent("pndtsk-repair", "own pending-task entry disagreed with sns")
+	}
 
 	nd.rt.GossipTo(func(k int) *wire.Message {
 		g := gossip[k]
@@ -549,6 +554,7 @@ func (nd *Node) StateSummary() State {
 // Corrupt models a transient fault: every algorithm variable is overwritten
 // with arbitrary values (§2 fault model).
 func (nd *Node) Corrupt(rng *rand.Rand) {
+	nd.rt.RecordEvent("transient-fault", "algorithm variables overwritten")
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.ts = rng.Int63n(1 << 20)
@@ -580,6 +586,7 @@ func (nd *Node) Corrupt(rng *rand.Rand) {
 // operation indices are restored from its peers via gossip (Definition
 // 1(iii)) within O(1) cycles.
 func (nd *Node) RestartDetectable() {
+	nd.rt.RecordEvent("detectable-restart", "variables re-initialised, channels drained")
 	nd.rt.RestartDetectable(func() {
 		nd.mu.Lock()
 		defer nd.mu.Unlock()

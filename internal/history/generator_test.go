@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 )
 
@@ -37,41 +38,53 @@ func (o *referenceObject) snapshot() types.RegVector {
 }
 
 // generate records a random concurrent workload against the reference
-// object and returns the recorder.
+// object and returns the recorder. The workers run as virtual-clock tasks:
+// interleavings come from the deterministic scheduler and the seeded think
+// times, so each seed yields the same history on every run and the test
+// spends no wall-clock time sleeping.
 func generate(seed int64, n, opsPerNode int) *Recorder {
-	obj := newReference(n)
-	rec := NewRecorder()
-	var wg sync.WaitGroup
-	for id := 0; id < n; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(id)*17))
-			for j := 0; j < opsPerNode; j++ {
-				if rng.Intn(2) == 0 {
-					v := types.Value(fmt.Sprintf("g%d-%d", id, j))
-					end := rec.BeginWrite(id, v)
-					sleepTiny(rng)
-					obj.write(id, v)
-					sleepTiny(rng)
-					end()
-				} else {
-					end := rec.BeginSnapshot(id)
-					sleepTiny(rng)
-					s := obj.snapshot()
-					sleepTiny(rng)
-					end(s)
+	v := simclock.NewVirtual()
+	var rec *Recorder
+	v.Run("history-gen", func() {
+		obj := newReference(n)
+		rec = NewRecorderClocked(v)
+		wg := v.NewGroup()
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			v.Go(fmt.Sprintf("gen-worker%d", id), func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(id)*17))
+				for j := 0; j < opsPerNode; j++ {
+					if rng.Intn(2) == 0 {
+						val := types.Value(fmt.Sprintf("g%d-%d", id, j))
+						end := rec.BeginWrite(id, val)
+						sleepTiny(v, rng)
+						obj.write(id, val)
+						sleepTiny(v, rng)
+						end()
+					} else {
+						end := rec.BeginSnapshot(id)
+						sleepTiny(v, rng)
+						s := obj.snapshot()
+						sleepTiny(v, rng)
+						end(s)
+					}
 				}
-			}
-		}(id)
-	}
-	wg.Wait()
+			})
+		}
+		wg.Wait()
+	})
 	return rec
 }
 
-func sleepTiny(rng *rand.Rand) {
+// sleepTiny yields virtual time: a third of the calls sleep up to 200µs
+// (advancing the clock past other workers' deadlines), the rest return
+// immediately — which under the cooperative scheduler means the worker
+// keeps the processor, exactly like a goroutine that isn't preempted.
+func sleepTiny(clk simclock.Clock, rng *rand.Rand) {
 	if rng.Intn(3) == 0 {
-		time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+		clk.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
 	}
 }
 

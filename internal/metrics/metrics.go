@@ -8,10 +8,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"selfstabsnap/internal/obs"
 	"selfstabsnap/internal/wire"
 )
 
@@ -237,51 +237,55 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
-// LatencyRecorder accumulates operation latencies. Safe for concurrent use.
+// LatencyRecorder accumulates operation latencies in a fixed-size,
+// lock-free log-bucketed histogram (obs.Histogram): O(1) memory no matter
+// how many operations a run performs, where the previous implementation
+// appended every sample to a slice and re-sorted it on each Stats call —
+// O(total operations) memory, enough to OOM a long metered campaign.
+// Count, Mean, Min and Max remain exact; P50/P90/P99 are interpolated
+// within their bucket (~35% relative width, so within one bucket of the
+// exact order statistic). Safe for concurrent use; the zero value is
+// ready to use.
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	h obs.Histogram
 }
 
-// Record adds one latency sample.
-func (l *LatencyRecorder) Record(d time.Duration) {
-	l.mu.Lock()
-	l.samples = append(l.samples, d)
-	l.mu.Unlock()
-}
+// Record adds one latency sample. Lock-free: a handful of atomic adds.
+func (l *LatencyRecorder) Record(d time.Duration) { l.h.Observe(d) }
 
-// Stats summarises the recorded samples.
+// Histogram exposes the underlying histogram, e.g. for Prometheus export.
+func (l *LatencyRecorder) Histogram() *obs.Histogram { return &l.h }
+
+// Stats summarises the recorded samples without sorting anything: one
+// pass over the 64 bucket counters.
 func (l *LatencyRecorder) Stats() LatencyStats {
-	l.mu.Lock()
-	samples := make([]time.Duration, len(l.samples))
-	copy(samples, l.samples)
-	l.mu.Unlock()
-
-	st := LatencyStats{Count: len(samples)}
+	s := l.h.Snapshot()
+	st := LatencyStats{Count: int(s.Count)}
 	if st.Count == 0 {
 		return st
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var sum time.Duration
-	for _, s := range samples {
-		sum += s
-	}
-	st.Mean = sum / time.Duration(st.Count)
-	st.Min = samples[0]
-	st.Max = samples[st.Count-1]
-	st.P50 = samples[st.Count/2]
-	st.P99 = samples[(st.Count*99)/100]
+	st.Mean = s.Mean()
+	st.Min = s.Min
+	st.Max = s.Max
+	st.P50 = s.Quantile(50)
+	st.P90 = s.Quantile(90)
+	st.P99 = s.Quantile(99)
 	return st
 }
 
-// LatencyStats summarises a latency distribution.
+// LatencyStats summarises a latency distribution. Quantiles follow the
+// historical sorted-slice indexing, value-at-rank ⌊n·q/100⌋ — which pins
+// the small-n semantics: for n ≤ 100 that p99 rank is n-1, so P99 equals
+// Max exactly (and for n = 1, P50 does too). Larger n interpolate within
+// a histogram bucket.
 type LatencyStats struct {
 	Count               int
 	Mean, Min, Max, P50 time.Duration
+	P90                 time.Duration
 	P99                 time.Duration
 }
 
 // String renders the stats on one line.
 func (s LatencyStats) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }

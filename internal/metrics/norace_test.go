@@ -1,0 +1,8 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled reports whether this binary was built with -race; the
+// strict allocation assertions skip themselves there (instrumentation
+// inflates counts).
+const raceEnabled = false

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/obs"
 	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
@@ -59,6 +60,10 @@ type Options struct {
 	// wait. nil means the real clock; pass the cluster's *simclock.Virtual
 	// to run the node as deterministic scheduler tasks.
 	Clock simclock.Clock
+	// Journal, when non-nil, receives self-stabilization events the
+	// algorithm reports via RecordEvent (corruption detections, resets,
+	// detectable restarts) for the /statusz observability endpoint.
+	Journal *obs.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +104,7 @@ type Runtime struct {
 	}
 
 	loopCount  atomic.Int64
+	lastTick   atomic.Int64 // clock nanos at the end of the latest tick
 	tickActive atomic.Bool
 
 	// Broadcast fast path, resolved once at construction: the transport's
@@ -149,6 +155,23 @@ func (r *Runtime) Majority() int { return r.n/2 + 1 }
 // LoopCount returns the number of completed do-forever iterations; recovery
 // experiments use it to measure asynchronous cycles.
 func (r *Runtime) LoopCount() int64 { return r.loopCount.Load() }
+
+// LastTick returns when the latest do-forever iteration completed (the
+// zero time before the first one) — the liveness signal /statusz reports.
+func (r *Runtime) LastTick() time.Time {
+	ns := r.lastTick.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// RecordEvent appends a self-stabilization event (a corruption detection,
+// a reset, a detectable restart) to the configured journal. Safe to call
+// with no journal configured; safe from any goroutine.
+func (r *Runtime) RecordEvent(kind, detail string) {
+	r.opts.Journal.Record(r.clk.Now(), r.id, kind, detail)
+}
 
 // Start launches the dispatcher and do-forever goroutines.
 func (r *Runtime) Start() {
@@ -210,6 +233,7 @@ func (r *Runtime) loop() {
 		r.alg.Tick()
 		r.tickActive.Store(false)
 		r.loopCount.Add(1)
+		r.lastTick.Store(r.clk.Now().UnixNano())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/obs"
 	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
@@ -327,4 +328,46 @@ func TestCloseIsIdempotentAndAbortsCalls(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Call not aborted by Close")
 	}
+}
+
+// TestLastTickAndJournal pins the observability surface added to the
+// runtime: LastTick advances with the do-forever loop (and is zero before
+// the first iteration), and RecordEvent lands in the configured journal —
+// nil-safely when no journal is wired.
+func TestLastTickAndJournal(t *testing.T) {
+	v := simclock.NewVirtual()
+	v.Run("last-tick-journal", func() {
+		net := netsim.New(netsim.Config{N: 1, Seed: 9, Clock: v})
+		defer net.Close()
+		alg := &echoAlg{}
+		opts := fastOpts()
+		opts.Clock = v
+		opts.Journal = obs.NewJournal(4)
+		rt := NewRuntime(0, net, alg, opts)
+		alg.rt = rt
+		defer rt.Close()
+
+		if !rt.LastTick().IsZero() {
+			t.Error("LastTick nonzero before Start")
+		}
+		rt.Start()
+		v.Sleep(5 * time.Millisecond)
+		first := rt.LastTick()
+		if first.IsZero() {
+			t.Error("LastTick still zero after ticking")
+		}
+		v.Sleep(5 * time.Millisecond)
+		if !rt.LastTick().After(first) {
+			t.Errorf("LastTick did not advance: %v then %v", first, rt.LastTick())
+		}
+
+		rt.RecordEvent("ts-repair", "test detail")
+		if got := opts.Journal.Counts()["ts-repair"]; got != 1 {
+			t.Errorf("journal count = %d, want 1", got)
+		}
+	})
+
+	// A runtime without a journal must accept RecordEvent as a no-op.
+	_, rts, _ := newEchoCluster(t, 1, netsim.Adversary{})
+	rts[0].RecordEvent("ts-repair", "discarded")
 }

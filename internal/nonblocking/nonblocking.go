@@ -175,11 +175,18 @@ func (nd *Node) Tick() {
 		return
 	}
 	nd.mu.Lock()
+	repaired := false
 	if own := nd.reg[nd.id].TS; own > nd.ts {
 		nd.ts = own // line 10: ts ← max{ts, reg[i].ts}
+		repaired = true
 	}
 	gossip := nd.reg.Share()
 	nd.mu.Unlock()
+	if repaired {
+		// ts lagging the own register write index is the footprint of a
+		// transient fault or restart — normal operation keeps ts ahead.
+		nd.rt.RecordEvent("ts-repair", "raised ts to own register write index")
+	}
 
 	// Line 11: send GOSSIP(reg[k]) to each p_k ≠ p_i — O(ν) bits each,
 	// telling every node what we believe its own register holds.
@@ -242,6 +249,7 @@ func (nd *Node) StateSummary() State {
 // with arbitrary values drawn from rng (program code — and the node's
 // identity — stay intact, per the paper's fault model §2).
 func (nd *Node) Corrupt(rng *rand.Rand) {
+	nd.rt.RecordEvent("transient-fault", "algorithm variables overwritten")
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.ts = rng.Int63n(1 << 20)
@@ -280,6 +288,7 @@ func (nd *Node) LocalInvariantHolds() bool {
 // survive only in the other nodes' registers — and flow back via gossip in
 // the self-stabilizing variant.
 func (nd *Node) RestartDetectable() {
+	nd.rt.RecordEvent("detectable-restart", "variables re-initialised, channels drained")
 	nd.rt.RestartDetectable(func() {
 		nd.mu.Lock()
 		defer nd.mu.Unlock()

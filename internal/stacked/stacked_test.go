@@ -8,6 +8,7 @@ import (
 
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/node"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 	"selfstabsnap/internal/wire"
 )
@@ -72,22 +73,41 @@ func TestSnapshotCostIs8n(t *testing.T) {
 }
 
 func TestWriteCostIs2n(t *testing.T) {
+	// Runs on a virtual clock: the straggler-ack settling period below is a
+	// virtual sleep, so the test is deterministic and takes no wall time.
 	const n = 6
-	nodes, net := newCluster(t, n, netsim.Adversary{}, 3)
-	before := net.Counters().Snapshot()
-	if err := nodes[1].Write(types.Value("w")); err != nil {
-		t.Fatal(err)
-	}
-	// The write returns at a majority of acks; give the stragglers' acks a
-	// moment to be metered before diffing.
-	time.Sleep(20 * time.Millisecond)
-	diff := net.Counters().Snapshot().Sub(before)
-	if u := diff.PerType[wire.TUpdate].Messages; u != int64(n) {
-		t.Errorf("UPDATE messages = %d, want n=%d", u, n)
-	}
-	if total := diff.Messages; total != int64(2*n) {
-		t.Errorf("total write messages = %d, want 2n=%d", total, 2*n)
-	}
+	v := simclock.NewVirtual()
+	v.Run("stacked-write-cost", func() {
+		net := netsim.New(netsim.Config{N: n, Seed: 3, Clock: v})
+		opts := fastOpts()
+		opts.Clock = v
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = New(i, net, Config{Runtime: opts})
+			nodes[i].Start()
+		}
+		defer func() {
+			for _, nd := range nodes {
+				nd.Close()
+			}
+			net.Close()
+		}()
+		before := net.Counters().Snapshot()
+		if err := nodes[1].Write(types.Value("w")); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		// The write returns at a majority of acks; give the stragglers' acks
+		// a moment (of virtual time) to be metered before diffing.
+		v.Sleep(20 * time.Millisecond)
+		diff := net.Counters().Snapshot().Sub(before)
+		if u := diff.PerType[wire.TUpdate].Messages; u != int64(n) {
+			t.Errorf("UPDATE messages = %d, want n=%d", u, n)
+		}
+		if total := diff.Messages; total != int64(2*n) {
+			t.Errorf("total write messages = %d, want 2n=%d", total, 2*n)
+		}
+	})
 }
 
 func TestConcurrentWritersVisible(t *testing.T) {

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+// TestNodeList pins the dedupe-before-"all" fix: the old code checked
+// len(ids) == n against the RAW list, so a burst with duplicated
+// deliveries — exactly what the duplicating adversary produces — rendered
+// a false "all" whenever the duplicates happened to pad the list to n.
+func TestNodeList(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ids  []int
+		n    int
+		want string
+	}{
+		{"empty", nil, 3, ""},
+		{"single", []int{1}, 3, "p1"},
+		{"partial", []int{0, 2}, 3, "p0,p2"},
+		{"full", []int{0, 1, 2}, 3, "all"},
+		{"full unordered", []int{2, 0, 1}, 3, "all"},
+		// The regression: 3 raw ids but only 2 distinct peers. The old
+		// length check rendered "all" here.
+		{"false all from dup", []int{0, 1, 1}, 3, "p0,p1"},
+		{"dup pair", []int{0, 0, 1}, 3, "p0,p1"},
+		// Duplicates must not hide a genuinely complete set either: 4 raw
+		// ids, 3 distinct = every node. Old code: len 4 != 3 → "p0,p1,p2".
+		{"all despite dup", []int{0, 1, 1, 2}, 3, "all"},
+		{"single node cluster", []int{0}, 1, "all"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := nodeList(tc.ids, tc.n); got != tc.want {
+				t.Errorf("nodeList(%v, %d) = %q, want %q", tc.ids, tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRenderDupDeliveryNotAll drives the same regression through Render:
+// a delivery burst of {p0, p1, p1} in a 3-node run must not draw "← all".
+func TestRenderDupDeliveryNotAll(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	m := &wire.Message{Type: wire.TWriteAck}
+	r.OnDeliver(0, 2, m, base)
+	r.OnDeliver(1, 2, m, base.Add(time.Microsecond))
+	r.OnDeliver(1, 2, m, base.Add(2*time.Microsecond)) // adversarial duplicate
+	out := r.Render(3)
+	if strings.Contains(out, "← all") {
+		t.Errorf("duplicated delivery burst rendered as \"all\":\n%s", out)
+	}
+	if !strings.Contains(out, "WRITEack ← p0,p1") {
+		t.Errorf("want coalesced \"WRITEack ← p0,p1\":\n%s", out)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder()
+	r.SetLimit(3)
+	base := time.Now()
+	for i := 0; i < 7; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TWrite, Seq: uint64(i)}, base.Add(time.Duration(i)*time.Microsecond))
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(4 + i); e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d (drop-oldest order)", i, e.Seq, want)
+		}
+	}
+	if got := r.Dropped(); got != 4 {
+		t.Errorf("Dropped() = %d, want 4", got)
+	}
+	if out := r.Render(2); !strings.Contains(out, "dropped 4 older events") {
+		t.Errorf("Render does not surface the drop count:\n%s", out)
+	}
+
+	// Reset clears events and the dropped counter but keeps the limit.
+	r.Reset()
+	if r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear ring state")
+	}
+	for i := 0; i < 5; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TWrite, Seq: uint64(i)}, base)
+	}
+	if len(r.Events()) != 3 || r.Dropped() != 2 {
+		t.Errorf("limit lost after Reset: %d events, %d dropped", len(r.Events()), r.Dropped())
+	}
+}
+
+func TestSetLimitTruncatesExisting(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TWrite, Seq: uint64(i)}, base.Add(time.Duration(i)*time.Microsecond))
+	}
+	r.SetLimit(4)
+	ev := r.Events()
+	if len(ev) != 4 || ev[0].Seq != 6 {
+		t.Fatalf("SetLimit on a full recorder: %d events, first seq %d; want 4 events starting at 6", len(ev), ev[0].Seq)
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", r.Dropped())
+	}
+
+	// Lifting the limit (SetLimit(0)) restores unbounded growth.
+	r.SetLimit(0)
+	for i := 10; i < 20; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TWrite, Seq: uint64(i)}, base.Add(time.Duration(i)*time.Microsecond))
+	}
+	if got := len(r.Events()); got != 14 {
+		t.Errorf("unbounded after SetLimit(0): %d events, want 14", got)
+	}
+}
+
+// TestLimitDefaultUnbounded guards the compatibility promise: without
+// SetLimit the recorder behaves exactly as before.
+func TestLimitDefaultUnbounded(t *testing.T) {
+	r := NewRecorder()
+	base := time.Now()
+	for i := 0; i < 5000; i++ {
+		r.OnSend(0, 1, &wire.Message{Type: wire.TWrite}, base)
+	}
+	if len(r.Events()) != 5000 || r.Dropped() != 0 {
+		t.Errorf("default recorder bounded: %d events, %d dropped", len(r.Events()), r.Dropped())
+	}
+}

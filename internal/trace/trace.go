@@ -35,12 +35,17 @@ type Event struct {
 	Note     string
 }
 
-// Recorder implements netsim.TraceHook and accumulates events.
+// Recorder implements netsim.TraceHook and accumulates events. By default
+// it keeps every event; SetLimit bounds it to a ring buffer so a recorder
+// left attached to a long chaos campaign cannot grow without bound.
 type Recorder struct {
-	clk    simclock.Clock
-	mu     sync.Mutex
-	events []Event
-	filter map[wire.Type]bool // nil = record everything
+	clk     simclock.Clock
+	mu      sync.Mutex
+	events  []Event
+	head    int    // ring start when limit > 0 and the buffer is full
+	limit   int    // 0 = unbounded
+	dropped uint64 // events overwritten since the last Reset
+	filter  map[wire.Type]bool // nil = record everything
 }
 
 // NewRecorder returns an empty recorder stamping Marks with real time.
@@ -69,13 +74,54 @@ func (r *Recorder) SetFilter(tt ...wire.Type) {
 	}
 }
 
+// SetLimit bounds the recorder to the most recent n events (drop-oldest).
+// n = 0 restores the default unbounded behaviour. If more than n events
+// are already recorded, the oldest are discarded immediately and counted
+// as dropped.
+func (r *Recorder) SetLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.linearized()
+	r.head = 0
+	r.limit = n
+	if n > 0 && len(r.events) > n {
+		r.dropped += uint64(len(r.events) - n)
+		r.events = append([]Event(nil), r.events[len(r.events)-n:]...)
+	}
+}
+
+// Dropped returns how many events the ring buffer has overwritten (or
+// SetLimit discarded) since the last Reset.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// linearized returns the events in insertion order; the caller holds mu.
+func (r *Recorder) linearized() []Event {
+	if r.head == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
+	return out
+}
+
 func (r *Recorder) record(e Event) {
 	r.mu.Lock()
 	if e.Kind != EvMark && r.filter != nil && !r.filter[e.MsgType] {
 		r.mu.Unlock()
 		return
 	}
-	r.events = append(r.events, e)
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.events[r.head] = e
+		r.head = (r.head + 1) % r.limit
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
@@ -97,17 +143,21 @@ func (r *Recorder) Mark(node int, note string) {
 // Events returns a time-sorted copy of the recorded events.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	lin := r.linearized()
+	out := make([]Event, len(lin))
+	copy(out, lin)
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
 	return out
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events and clears the dropped counter. The
+// limit, if set, stays in force.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = nil
+	r.head = 0
+	r.dropped = 0
 	r.mu.Unlock()
 }
 
@@ -129,11 +179,18 @@ func (r *Recorder) CountByType() map[wire.Type]int {
 // figures where one arrow bundle represents a broadcast.
 func (r *Recorder) Render(n int) string {
 	events := r.Events()
+	dropped := r.Dropped()
 	if len(events) == 0 {
+		if dropped > 0 {
+			return fmt.Sprintf("(empty trace; dropped %d older events)\n", dropped)
+		}
 		return "(empty trace)\n"
 	}
 	start := events[0].At
 	var b strings.Builder
+	if dropped > 0 {
+		fmt.Fprintf(&b, "(dropped %d older events)\n", dropped)
+	}
 	fmt.Fprintf(&b, "%-10s %-6s %s\n", "t(µs)", "node", "event")
 
 	i := 0
@@ -175,10 +232,12 @@ func (r *Recorder) Render(n int) string {
 	return b.String()
 }
 
+// nodeList renders a peer set compactly: "all" when every one of the n
+// nodes appears, "p0,p2" otherwise. Duplicates are removed BEFORE the
+// all-nodes check — a duplicated-delivery burst like {p0,p1,p1} in a
+// 3-node run must render "p0,p1", not a false "all" (the raw length
+// equals n but only two distinct peers are present).
 func nodeList(ids []int, n int) string {
-	if len(ids) == n {
-		return "all"
-	}
 	seen := map[int]bool{}
 	parts := make([]string, 0, len(ids))
 	for _, id := range ids {
@@ -186,6 +245,9 @@ func nodeList(ids []int, n int) string {
 			seen[id] = true
 			parts = append(parts, fmt.Sprintf("p%d", id))
 		}
+	}
+	if len(parts) == n {
+		return "all"
 	}
 	return strings.Join(parts, ",")
 }
