@@ -58,6 +58,7 @@ func main() {
 		duration  = flag.Duration("duration", 250*time.Millisecond, "workload duration per run")
 		crash     = flag.Float64("crash", 15, "crash events per second (0 = none)")
 		partition = flag.Float64("partition", 0, "partition events per second (0 = none)")
+		ackCorr   = flag.Float64("ack-corrupt", 0, "delta-gossip ack-table corruptions per second (0 = none)")
 		corrupt   = flag.Bool("corrupt", false, "inject a transient fault before each run")
 		drop      = flag.Float64("drop", 0.05, "packet drop probability")
 		dup       = flag.Float64("dup", 0.05, "packet duplication probability")
@@ -84,7 +85,7 @@ func main() {
 		N: *n, Algorithm: alg, Delta: *delta,
 		Adversary: netsim.Adversary{DropProb: *drop, DupProb: *dup, MaxDelay: 2 * time.Millisecond},
 		Duration:  *duration,
-		CrashRate: *crash, PartitionRate: *partition,
+		CrashRate: *crash, PartitionRate: *partition, AckCorruptRate: *ackCorr,
 		Corrupt: *corrupt,
 		Virtual: *virtual,
 	}
@@ -113,8 +114,8 @@ func main() {
 		os.Exit(code)
 	}
 
-	fmt.Printf("fuzzing %s: n=%d runs=%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v virtual=%v\n\n",
-		alg, *n, *runs, *duration, *crash, *partition, *corrupt, *virtual)
+	fmt.Printf("fuzzing %s: n=%d runs=%d duration=%v crash=%.0f/s partition=%.0f/s ack-corrupt=%.0f/s corrupt=%v virtual=%v\n\n",
+		alg, *n, *runs, *duration, *crash, *partition, *ackCorr, *corrupt, *virtual)
 
 	start := time.Now()
 	var totalOps int64
@@ -208,9 +209,9 @@ type campaignFailure struct {
 }
 
 func runCampaign(base chaos.Config, fromSeed int64, runs, workers int, out string, prog *fuzzProgress) int {
-	fmt.Printf("campaign %s: n=%d seeds=%d..%d duration=%v crash=%.0f/s partition=%.0f/s corrupt=%v\n\n",
+	fmt.Printf("campaign %s: n=%d seeds=%d..%d duration=%v crash=%.0f/s partition=%.0f/s ack-corrupt=%.0f/s corrupt=%v\n\n",
 		base.Algorithm, base.N, fromSeed, fromSeed+int64(runs)-1, base.Duration,
-		base.CrashRate, base.PartitionRate, base.Corrupt)
+		base.CrashRate, base.PartitionRate, base.AckCorruptRate, base.Corrupt)
 
 	start := time.Now()
 	lastTick := 0

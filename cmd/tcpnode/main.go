@@ -55,6 +55,8 @@ func main() {
 		peers    = flag.String("peers", "", "comma-separated host:port list, one per node")
 		algName  = flag.String("alg", "ss-nonblocking", "ss-nonblocking or ss-delta")
 		delta    = flag.Int64("delta", 4, "δ for ss-delta")
+		adaptive = flag.Bool("adaptive-delta", false, "auto-tune δ from live write/snapshot latency (ss-delta only)")
+		tuneEach = flag.Duration("tune-every", 5*time.Second, "adaptive-δ observation period")
 		write    = flag.String("write", "", "value prefix to write periodically (empty = don't write)")
 		interval = flag.Duration("interval", time.Second, "write period")
 		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
@@ -90,6 +92,7 @@ func main() {
 	}
 	var obj snapObj
 	var registers func() []regSummary
+	var deltaNode *deltasnap.Node
 	switch strings.ToLower(*algName) {
 	case "ss-nonblocking":
 		nd := nonblocking.New(*id, tr, nonblocking.Config{SelfStabilizing: true, Runtime: opts})
@@ -100,6 +103,7 @@ func main() {
 		nd := deltasnap.New(*id, tr, deltasnap.Config{Delta: *delta, Runtime: opts})
 		nd.Start()
 		obj = nd
+		deltaNode = nd
 		registers = func() []regSummary { return summarize(nd.StateSummary().Reg) }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
@@ -108,6 +112,23 @@ func main() {
 	defer obj.Close()
 
 	var writeLat, snapLat metrics.LatencyRecorder
+
+	// deltaValue reports the node's live δ (the tuner may move it), or -1
+	// when the algorithm has no δ at all.
+	deltaValue := func() int64 {
+		if deltaNode == nil {
+			return -1
+		}
+		return deltaNode.DeltaValue()
+	}
+	var tuner *deltasnap.Tuner
+	if *adaptive {
+		if deltaNode == nil {
+			fmt.Fprintln(os.Stderr, "-adaptive-delta requires -alg ss-delta")
+			os.Exit(2)
+		}
+		tuner = deltasnap.NewTuner(*delta, deltasnap.TunerConfig{})
+	}
 
 	if *obsAddr != "" {
 		srv := obs.NewServer(*obsAddr)
@@ -119,6 +140,13 @@ func main() {
 				obj.Runtime().LoopCount())
 			fmt.Fprintf(w, "# TYPE selfstabsnap_journal_events_total counter\nselfstabsnap_journal_events_total %d\n",
 				journal.Total())
+			if d := deltaValue(); d >= 0 {
+				fmt.Fprintf(w, "# TYPE selfstabsnap_delta gauge\nselfstabsnap_delta %d\n", d)
+			}
+			if tuner != nil {
+				fmt.Fprintf(w, "# TYPE selfstabsnap_delta_adjustments_total counter\nselfstabsnap_delta_adjustments_total %d\n",
+					tuner.Adjustments())
+			}
 		})
 		srv.SetStatus(func() any {
 			return struct {
@@ -128,6 +156,7 @@ func main() {
 				N           int                `json:"n"`
 				LoopCount   int64              `json:"loop_count"`
 				LastTick    time.Time          `json:"last_tick"`
+				Delta       int64              `json:"delta"` // live δ; -1 when the algorithm has none
 				Registers   []regSummary       `json:"registers"`
 				EventCounts map[string]int64   `json:"event_counts"`
 				Recent      []obs.JournalEvent `json:"recent_events"`
@@ -141,6 +170,7 @@ func main() {
 				N:           len(addrs),
 				LoopCount:   obj.Runtime().LoopCount(),
 				LastTick:    obj.Runtime().LastTick(),
+				Delta:       deltaValue(),
 				Registers:   registers(),
 				EventCounts: journal.Counts(),
 				Recent:      journal.Events(),
@@ -177,6 +207,12 @@ func main() {
 		defer t.Stop()
 		snapTick = t.C
 	}
+	var tuneTick <-chan time.Time
+	if tuner != nil {
+		t := time.NewTicker(*tuneEach)
+		defer t.Stop()
+		tuneTick = t.C
+	}
 
 	seq := 0
 	for {
@@ -196,6 +232,11 @@ func main() {
 			d := time.Since(start)
 			writeLat.Record(d)
 			fmt.Printf("wrote %q in %v\n", v, d.Round(time.Millisecond))
+		case <-tuneTick:
+			if d, changed := tuner.Observe(writeLat.Stats(), snapLat.Stats()); changed {
+				deltaNode.SetDelta(d)
+				fmt.Printf("adaptive δ → %d (adjustment #%d)\n", d, tuner.Adjustments())
+			}
 		case <-snapTick:
 			start := time.Now()
 			snap, err := obj.Snapshot()

@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"E9", "§5 bounded counters: MAXINT wraparound and global reset", RunE9},
 		{"E10", "Crash tolerance and linearizability under adversary", RunE10},
 		{"hotpath", "Hot-path allocation profile: write/snapshot ns, B and allocs per op", RunHotpath},
+		{"deltagossip", "Delta gossip: idle bandwidth of full-vector vs ack-tracked gossip", RunDeltaGossip},
 	}
 }
 
@@ -121,6 +122,10 @@ func Lookup(id string) (Experiment, bool) {
 // ---- shared helpers ----
 
 // fastCfg returns a cluster config tuned for sub-second experiments.
+// The paper experiments (E1-E10) reproduce the paper's message-complexity
+// figures, which assume the full-vector gossip of Algorithms 2-3 — so
+// ack-tracked delta gossip is switched off here. The "deltagossip"
+// experiment measures the optimization itself and builds its own config.
 func fastCfg(alg core.Algorithm, n int, seed int64) core.Config {
 	return core.Config{
 		N:            n,
@@ -128,6 +133,7 @@ func fastCfg(alg core.Algorithm, n int, seed int64) core.Config {
 		Seed:         seed,
 		LoopInterval: time.Millisecond,
 		RetxInterval: 3 * time.Millisecond,
+		FullGossip:   true,
 	}
 }
 

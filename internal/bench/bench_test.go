@@ -37,8 +37,8 @@ func cellFloat(t *testing.T, row []string, col int) float64 {
 
 func TestCatalogue(t *testing.T) {
 	all := All()
-	if len(all) != 11 { // E1–E10 plus the hotpath allocation profile
-		t.Fatalf("catalogue has %d experiments, want 11", len(all))
+	if len(all) != 12 { // E1–E10, the hotpath allocation profile, deltagossip
+		t.Fatalf("catalogue has %d experiments, want 12", len(all))
 	}
 	if _, ok := Lookup("e3"); !ok {
 		t.Error("case-insensitive lookup broken")

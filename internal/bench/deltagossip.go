@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/simclock"
+	"selfstabsnap/internal/wire"
+)
+
+// Delta-gossip measurement windows, in do-forever loop ticks. The settle
+// window lets every node learn its peers' first acks (and reach
+// suppression steady state in delta mode); the measured window then spans
+// several ack-staleness periods so the periodic full-refresh traffic is
+// averaged in, not dodged.
+const (
+	dgSettleTicks  = 24
+	dgMeasureTicks = 36
+)
+
+// dgBytesPerTick runs an idle n-node cluster with ν-byte register values
+// on a virtual clock and returns the cluster-wide gossip bandwidth —
+// (TGossip + TGossipAck) bytes per loop tick — over the measured window.
+// The virtual clock makes the result an exact deterministic function of
+// (n, ν, fullGossip): the regression guard compares these numbers across
+// builds, not across machines.
+func dgBytesPerTick(n, payload int, fullGossip bool) float64 {
+	v := simclock.NewVirtual()
+	var bpt float64
+	v.Run("deltagossip", func() {
+		cfg := core.Config{
+			N:            n,
+			Algorithm:    core.NonBlockingSS,
+			Seed:         9000 + int64(n) + int64(payload),
+			LoopInterval: time.Millisecond,
+			RetxInterval: 3 * time.Millisecond,
+			FullGossip:   fullGossip,
+			Clock:        v,
+		}
+		c := mustCluster(cfg)
+		defer c.Close()
+		for i := 0; i < n; i++ {
+			mustDo(c.Write(i, value(payload, byte('a'+i%26))))
+		}
+		v.Sleep(dgSettleTicks * cfg.LoopInterval)
+		before := c.Metrics()
+		loops0 := sumLoops(c)
+		v.Sleep(dgMeasureTicks * cfg.LoopInterval)
+		diff := c.Metrics().Sub(before)
+		ticks := float64(sumLoops(c)-loops0) / float64(n)
+		bpt = float64(diff.BytesOf(wire.TGossip, wire.TGossipAck)) / ticks
+	})
+	return bpt
+}
+
+func sumLoops(c *core.Cluster) int64 {
+	var s int64
+	for _, l := range c.LoopCounts() {
+		s += l
+	}
+	return s
+}
+
+// RunDeltaGossip measures the tentpole bandwidth claim: per-peer ack
+// tracking suppresses the (overwhelmingly redundant) idle gossip traffic,
+// so steady-state bytes/tick drop by roughly the ack-staleness factor
+// while the periodic full-vector refresh keeps the protocol
+// self-stabilizing. The table sweeps cluster size and value size; the
+// committed BENCH_deltagossip.json is the CI baseline the bandwidth
+// regression guard compares against.
+func RunDeltaGossip(p Params) []*Table {
+	t := &Table{
+		ID:      "deltagossip",
+		Title:   "idle gossip bandwidth: full-vector vs delta (per-peer ack tracking)",
+		Headers: []string{"n", "value B", "full B/tick", "delta B/tick", "reduction"},
+	}
+	sizes := []int{16, 64}
+	if p.Quick {
+		sizes = []int{16}
+	}
+	for _, n := range sizes {
+		for _, payload := range []int{256, 4096} {
+			full := dgBytesPerTick(n, payload, true)
+			delta := dgBytesPerTick(n, payload, false)
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(payload), f1(full), f1(delta), f1(full/delta)+"x")
+		}
+	}
+	t.AddNote("idle cluster, virtual clock: numbers are deterministic per build")
+	t.AddNote("delta mode pays one full send + one GOSSIPack per peer per staleness window (8 ticks); full mode resends every tick")
+	return []*Table{t}
+}

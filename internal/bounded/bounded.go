@@ -68,6 +68,9 @@ type Config struct {
 	// paper's criteria explicitly permit aborting a bounded number of
 	// operations during the seldom global reset.
 	AbortDuringReset bool
+	// FullGossip disables the inner algorithm's delta gossip (see
+	// nonblocking.Config.FullGossip).
+	FullGossip bool
 	// Runtime tuning forwarded to the inner Algorithm 1 node.
 	Runtime node.Options
 }
@@ -103,6 +106,7 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 	b := newShell(id, tr, cfg)
 	b.innerNB = nonblocking.New(id, b.ft, nonblocking.Config{
 		SelfStabilizing: true,
+		FullGossip:      cfg.FullGossip,
 		Runtime:         cfg.Runtime,
 	})
 	b.inner = b.innerNB
@@ -115,8 +119,9 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 func NewDelta(id int, tr netsim.Transport, delta int64, cfg Config) *Node {
 	b := newShell(id, tr, cfg)
 	b.innerDelta = deltasnap.New(id, b.ft, deltasnap.Config{
-		Delta:   delta,
-		Runtime: cfg.Runtime,
+		Delta:      delta,
+		FullGossip: cfg.FullGossip,
+		Runtime:    cfg.Runtime,
 	})
 	b.inner = b.innerDelta
 	return b

@@ -2,8 +2,9 @@
 // while a concurrent workload runs, then verifies the recorded operation
 // history against the snapshot-object linearizability checker. It is the
 // repository's Jepsen-style validation layer: crashes, undetectable
-// restarts, temporary minority partitions and (optionally) a one-shot
-// transient fault, all from a single seed, all reproducible.
+// restarts, temporary minority partitions, delta-gossip ack-table
+// corruption and (optionally) a one-shot transient fault, all from a
+// single seed, all reproducible.
 //
 // A run executes in one of two time domains. In real time (the default)
 // the schedule plays out against the wall clock. Under Config.Virtual the
@@ -64,9 +65,10 @@ type Config struct {
 
 	// Fault schedule. Rates are mean events per second (Poisson-ish via
 	// the seeded schedule draws); zero disables the fault class.
-	CrashRate     float64 // crash + later resume, ≤ f nodes down at once
-	PartitionRate float64 // cut a minority node off, heal shortly after
-	Corrupt       bool    // one transient fault before the checked phase
+	CrashRate      float64 // crash + later resume, ≤ f nodes down at once
+	PartitionRate  float64 // cut a minority node off, heal shortly after
+	AckCorruptRate float64 // trash a node's delta-gossip ack table (soft state)
+	Corrupt        bool    // one transient fault before the checked phase
 
 	// Schedule, when non-nil, replaces the generated fault schedule —
 	// used to replay a stored schedule or test a minimized one. An empty
@@ -107,17 +109,18 @@ func (cfg Config) withDefaults() Config {
 
 // Stats is one periodic progress report of a running chaos schedule.
 type Stats struct {
-	Elapsed    time.Duration // time since the checked phase began, on the run's clock
-	Writes     int64
-	Snapshots  int64
-	Crashes    int64
-	Partitions int64
+	Elapsed     time.Duration // time since the checked phase began, on the run's clock
+	Writes      int64
+	Snapshots   int64
+	Crashes     int64
+	Partitions  int64
+	AckCorrupts int64
 }
 
 // String renders the stats on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("t=%v writes=%d snapshots=%d crashes=%d partitions=%d",
-		s.Elapsed, s.Writes, s.Snapshots, s.Crashes, s.Partitions)
+	return fmt.Sprintf("t=%v writes=%d snapshots=%d crashes=%d partitions=%d ackcorrupts=%d",
+		s.Elapsed, s.Writes, s.Snapshots, s.Crashes, s.Partitions, s.AckCorrupts)
 }
 
 // Result summarises a chaos run.
@@ -127,6 +130,7 @@ type Result struct {
 	Crashes     int64
 	Resumes     int64
 	Partitions  int64
+	AckCorrupts int64
 	RecoveryCyc int64 // cycles to invariant after the transient fault (if any)
 	Violation   *history.Violation
 
@@ -147,8 +151,8 @@ func (r Result) String() string {
 	if r.Violation != nil {
 		lin = r.Violation.Error()
 	}
-	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d recovery=%d cycles → %s",
-		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.RecoveryCyc, lin)
+	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d ackcorrupts=%d recovery=%d cycles → %s",
+		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.AckCorrupts, r.RecoveryCyc, lin)
 }
 
 // Run executes one chaos schedule. It returns an error only for setup
@@ -250,7 +254,7 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	// the run ends mid-schedule, pending heals for already-applied faults
 	// fire immediately so no workload worker stays wedged behind a
 	// partition that would never heal.
-	var crashes, resumes, partitions atomic.Int64
+	var crashes, resumes, partitions, ackCorrupts atomic.Int64
 	acts := timeline(cfg.Schedule)
 	start := clk.Now()
 	wg.Add(1)
@@ -262,19 +266,30 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 			switch {
 			case !a.heal:
 				applied[a.ev] = true
-				if e.Kind == FaultCrash {
+				switch e.Kind {
+				case FaultCrash:
 					cluster.Crash(e.Node)
 					crashes.Add(1)
-				} else {
+				case FaultPartition:
 					cluster.Network().Isolate(e.Node, true)
 					partitions.Add(1)
+				case FaultAckCorrupt:
+					// Tolerated for algorithms without an ack table (the
+					// error just means there is nothing to corrupt).
+					if cluster.CorruptAckTable(e.Node) == nil {
+						ackCorrupts.Add(1)
+					}
 				}
 			case applied[a.ev]:
-				if e.Kind == FaultCrash {
+				switch e.Kind {
+				case FaultCrash:
 					cluster.Resume(e.Node)
 					resumes.Add(1)
-				} else {
+				case FaultPartition:
 					cluster.Network().Isolate(e.Node, false)
+				case FaultAckCorrupt:
+					// Nothing to heal: the staleness window flushes the
+					// corrupted entries on its own.
 				}
 			}
 		}
@@ -342,11 +357,12 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 					return
 				}
 				cfg.OnStats(Stats{
-					Elapsed:    clk.Since(start),
-					Writes:     writes.Load(),
-					Snapshots:  snaps.Load(),
-					Crashes:    crashes.Load(),
-					Partitions: partitions.Load(),
+					Elapsed:     clk.Since(start),
+					Writes:      writes.Load(),
+					Snapshots:   snaps.Load(),
+					Crashes:     crashes.Load(),
+					Partitions:  partitions.Load(),
+					AckCorrupts: ackCorrupts.Load(),
 				})
 			}
 		})
@@ -365,6 +381,7 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	res.Crashes = crashes.Load()
 	res.Resumes = resumes.Load()
 	res.Partitions = partitions.Load()
+	res.AckCorrupts = ackCorrupts.Load()
 
 	if fullCheck {
 		res.Violation = rec.Check()

@@ -23,6 +23,7 @@ type corpusEntry struct {
 	Seed       int64   `json:"seed"`
 	Crash      float64 `json:"crash"`
 	Partition  float64 `json:"partition"`
+	AckCorrupt float64 `json:"ack_corrupt"`
 	Corrupt    bool    `json:"corrupt"`
 	Hostile    bool    `json:"hostile"`
 	DurationMS int64   `json:"duration_ms"`
@@ -45,11 +46,12 @@ func (e corpusEntry) config() (Config, error) {
 	}
 	cfg := Config{
 		N: e.N, Algorithm: alg, Delta: e.Delta, Seed: e.Seed,
-		Duration:      time.Duration(e.DurationMS) * time.Millisecond,
-		CrashRate:     e.Crash,
-		PartitionRate: e.Partition,
-		Corrupt:       e.Corrupt,
-		Virtual:       true,
+		Duration:       time.Duration(e.DurationMS) * time.Millisecond,
+		CrashRate:      e.Crash,
+		PartitionRate:  e.Partition,
+		AckCorruptRate: e.AckCorrupt,
+		Corrupt:        e.Corrupt,
+		Virtual:        true,
 	}
 	if e.Hostile {
 		cfg.Adversary = hostileNet()

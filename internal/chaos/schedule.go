@@ -17,6 +17,11 @@ const (
 	FaultCrash FaultKind = iota + 1
 	// FaultPartition cuts the node off from every peer, healing Down later.
 	FaultPartition
+	// FaultAckCorrupt overwrites the node's delta-gossip ack table with
+	// arbitrary values. It needs no heal — the table is soft state that the
+	// staleness window flushes on its own — so Down is only the nominal
+	// bookkeeping the timeline requires.
+	FaultAckCorrupt
 )
 
 // String names the kind.
@@ -26,6 +31,8 @@ func (k FaultKind) String() string {
 		return "crash"
 	case FaultPartition:
 		return "partition"
+	case FaultAckCorrupt:
+		return "ack-corrupt"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
@@ -54,11 +61,13 @@ func (e FaultEvent) String() string {
 const scheduleTick = 5 * time.Millisecond
 
 // GenSchedule derives the fault schedule Run executes for cfg — a pure,
-// deterministic function of (Seed, N, CrashRate, PartitionRate, Duration).
-// Rates are mean events per second, drawn at a 5ms tick. The generator
-// enforces the harness's soundness constraint: at most f = ⌊(N−1)/2⌋
-// nodes are crashed or partitioned away at any instant, so a connected
-// live majority always exists and every operation eventually completes.
+// deterministic function of (Seed, N, CrashRate, PartitionRate,
+// AckCorruptRate, Duration). Rates are mean events per second, drawn at a
+// 5ms tick. The generator enforces the harness's soundness constraint: at
+// most f = ⌊(N−1)/2⌋ nodes are crashed or partitioned away at any instant,
+// so a connected live majority always exists and every operation
+// eventually completes. Ack-table corruption neither downs a node nor
+// counts against the f bound — the table is advisory soft state.
 func GenSchedule(cfg Config) []FaultEvent {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -89,6 +98,12 @@ func GenSchedule(cfg Config) []FaultEvent {
 				evs = append(evs, FaultEvent{At: at, Kind: FaultPartition, Node: id, Down: heal})
 				downUntil[id] = at + heal
 			}
+		}
+		if cfg.AckCorruptRate > 0 && rng.Float64() < cfg.AckCorruptRate*p {
+			// No downUntil update and no f-bound check: the node keeps
+			// running; only its gossip suppression hints are trashed.
+			id := rng.Intn(cfg.N)
+			evs = append(evs, FaultEvent{At: at, Kind: FaultAckCorrupt, Node: id, Down: time.Millisecond})
 		}
 	}
 	return evs

@@ -103,6 +103,18 @@ type Config struct {
 	Algorithm Algorithm
 	// Delta is Algorithm 3's δ parameter (ignored by other algorithms).
 	Delta int64
+	// FullGossip disables delta gossip on the self-stabilizing algorithms:
+	// every tick sends the full per-peer gossip payload as in the paper's
+	// listing, regardless of what the peer acknowledged. The zero value
+	// (delta gossip on) suppresses sends the peer's fresh GOSSIPack
+	// already dominates.
+	FullGossip bool
+	// AdaptiveDelta retunes Algorithm 3's δ continuously from the live
+	// write/snapshot latency recorders (DeltaSS and BoundedDeltaSS only).
+	// Off by default: deterministic experiments keep δ fixed.
+	AdaptiveDelta bool
+	// TuneInterval is the adaptive-δ observation period (default 50ms).
+	TuneInterval time.Duration
 	// Seed drives all adversarial and corruption randomness (default 1).
 	Seed int64
 	// Adversary configures packet loss/duplication/delay.
@@ -150,6 +162,9 @@ type member struct {
 	state   func() (int64, int64, types.RegVector, []int64)
 	restart func() // detectable restart; nil if unsupported
 	closer  func()
+	// Delta-gossip hooks; nil when the algorithm has no ack table.
+	ackCorrupt func(*rand.Rand)
+	ackStats   func() node.AckStats
 }
 
 // Cluster is a running group of nodes implementing one snapshot object.
@@ -162,6 +177,10 @@ type Cluster struct {
 
 	writeLat metrics.LatencyRecorder
 	snapLat  metrics.LatencyRecorder
+
+	tuner  *deltasnap.Tuner // nil unless AdaptiveDelta
+	stopEv simclock.Event
+	wg     *simclock.Group
 }
 
 // Errors returned by cluster construction and control.
@@ -190,8 +209,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Trace:     cfg.Trace,
 		Clock:     clk,
 	})
-	c := &Cluster{cfg: cfg, clk: clk, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	c := &Cluster{
+		cfg: cfg, clk: clk, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1)),
+		stopEv: clk.NewEvent(), wg: clk.NewGroup(),
+	}
 	ropts := node.Options{LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval, Clock: clk}
+	var deltaSetters []func(int64)
 
 	for i := 0; i < cfg.N; i++ {
 		var m member
@@ -199,6 +222,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		case NonBlockingDG, NonBlockingSS:
 			nd := nonblocking.New(i, net, nonblocking.Config{
 				SelfStabilizing: cfg.Algorithm == NonBlockingSS,
+				FullGossip:      cfg.FullGossip,
 				Runtime:         ropts,
 			})
 			m = member{obj: nd, rt: nd.Runtime(), invariant: nd.LocalInvariantHolds, closer: nd.Close}
@@ -209,6 +233,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 					st := nd.StateSummary()
 					return st.TS, 0, st.Reg, nil
 				}
+				if !cfg.FullGossip {
+					m.ackCorrupt = nd.CorruptAckTable
+					m.ackStats = nd.AckStats
+				}
 			}
 			nd.Start()
 		case AlwaysTerminatingDG:
@@ -216,13 +244,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			m = member{obj: nd, rt: nd.Runtime(), closer: nd.Close}
 			nd.Start()
 		case DeltaSS:
-			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, Runtime: ropts})
+			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, FullGossip: cfg.FullGossip, Runtime: ropts})
 			m = member{obj: nd, rt: nd.Runtime(), corrupt: nd.Corrupt, invariant: nd.LocalInvariantHolds, closer: nd.Close}
 			m.restart = nd.RestartDetectable
 			m.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS
 			}
+			if !cfg.FullGossip {
+				m.ackCorrupt = nd.CorruptAckTable
+				m.ackStats = nd.AckStats
+			}
+			deltaSetters = append(deltaSetters, nd.SetDelta)
 			nd.Start()
 		case StackedABD:
 			nd := stacked.New(i, net, stacked.Config{Runtime: ropts})
@@ -232,6 +265,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			nd := bounded.New(i, net, bounded.Config{
 				MaxInt:           cfg.MaxInt,
 				AbortDuringReset: cfg.AbortDuringReset,
+				FullGossip:       cfg.FullGossip,
 				Runtime:          ropts,
 			})
 			m = member{
@@ -244,11 +278,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				st := nd.Inner().StateSummary()
 				return st.TS, 0, st.Reg, nil
 			}
+			if !cfg.FullGossip {
+				m.ackCorrupt = nd.Inner().CorruptAckTable
+				m.ackStats = nd.Inner().AckStats
+			}
 			nd.Start()
 		case BoundedDeltaSS:
 			nd := bounded.NewDelta(i, net, cfg.Delta, bounded.Config{
 				MaxInt:           cfg.MaxInt,
 				AbortDuringReset: cfg.AbortDuringReset,
+				FullGossip:       cfg.FullGossip,
 				Runtime:          ropts,
 			})
 			m = member{
@@ -261,6 +300,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				st := nd.InnerDelta().StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS
 			}
+			if !cfg.FullGossip {
+				m.ackCorrupt = nd.InnerDelta().CorruptAckTable
+				m.ackStats = nd.InnerDelta().AckStats
+			}
+			deltaSetters = append(deltaSetters, nd.InnerDelta().SetDelta)
 			nd.Start()
 		default:
 			net.Close()
@@ -268,7 +312,57 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.members = append(c.members, m)
 	}
+
+	if cfg.AdaptiveDelta && len(deltaSetters) > 0 {
+		c.tuner = deltasnap.NewTuner(cfg.Delta, deltasnap.TunerConfig{})
+		interval := cfg.TuneInterval
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+		c.wg.Add(1)
+		clk.Go("delta-tuner", func() {
+			defer c.wg.Done()
+			t := clk.NewTicker(interval)
+			defer t.Stop()
+			for {
+				if clk.Wait(c.stopEv, t) == 0 {
+					return
+				}
+				if d, changed := c.tuner.Observe(c.writeLat.Stats(), c.snapLat.Stats()); changed {
+					for _, set := range deltaSetters {
+						set(d)
+					}
+				}
+			}
+		})
+	}
 	return c, nil
+}
+
+// DeltaTuner exposes the adaptive-δ controller, or nil when
+// Config.AdaptiveDelta is off (or the algorithm has no δ).
+func (c *Cluster) DeltaTuner() *deltasnap.Tuner { return c.tuner }
+
+// CorruptAckTable fills node id's delta-gossip ack table with arbitrary
+// values — the chaos nemesis proving the table is soft state.
+func (c *Cluster) CorruptAckTable(id int) error {
+	if id < 0 || id >= c.cfg.N {
+		return ErrUnknownNode
+	}
+	if c.members[id].ackCorrupt == nil {
+		return fmt.Errorf("%w: %s has no delta-gossip ack table", ErrNotCorruptible, c.cfg.Algorithm)
+	}
+	c.members[id].ackCorrupt(c.rng)
+	return nil
+}
+
+// AckStats returns node id's gossip-mode tallies (zero when the algorithm
+// runs without delta gossip).
+func (c *Cluster) AckStats(id int) node.AckStats {
+	if id < 0 || id >= c.cfg.N || c.members[id].ackStats == nil {
+		return node.AckStats{}
+	}
+	return c.members[id].ackStats()
 }
 
 // N returns the cluster size.
@@ -499,8 +593,10 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 
 // Close stops every node and the network.
 func (c *Cluster) Close() {
+	c.stopEv.Fire()
 	for i := range c.members {
 		c.members[i].closer()
 	}
 	c.net.Close()
+	c.wg.Wait()
 }

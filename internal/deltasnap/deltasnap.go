@@ -28,6 +28,7 @@ package deltasnap
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/node"
@@ -40,7 +41,13 @@ type Config struct {
 	// Delta is the paper's δ: the number of observed concurrent write
 	// operations after which all nodes are recruited to finish a snapshot
 	// task (temporarily blocking writes). 0 recruits everyone immediately.
+	// This is the initial value; SetDelta retunes it live.
 	Delta int64
+	// FullGossip disables delta gossip: every tick sends the full per-peer
+	// gossip payload regardless of what the peer acknowledged, as in the
+	// paper's listing. The zero value (delta gossip on) trims or elides
+	// sends the peer's fresh GOSSIPack already dominates.
+	FullGossip bool
 	// Runtime tuning forwarded to the node runtime.
 	Runtime node.Options
 }
@@ -76,6 +83,15 @@ type Node struct {
 	reg          types.RegVector
 	writePending *pendingWrite
 	pndTsk       []pnd
+
+	// deltaV is the live δ value (initialised from Config.Delta, retuned
+	// by SetDelta). Atomic so the adaptive tuner can adjust it without
+	// taking the algorithm lock.
+	deltaV atomic.Int64
+
+	// acks is the delta-gossip ack table (nil when FullGossip). Own lock;
+	// soft state — resetting it on repair events costs only extra gossip.
+	acks *node.AckTable
 }
 
 // New creates a node with identifier id over transport tr.
@@ -90,8 +106,44 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 		reg:    types.NewRegVector(tr.N()),
 		pndTsk: make([]pnd, tr.N()),
 	}
+	nd.deltaV.Store(cfg.Delta)
+	if !cfg.FullGossip {
+		nd.acks = node.NewAckTable(tr.N(), node.DefaultAckStaleness)
+	}
 	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
 	return nd
+}
+
+// DeltaValue returns the live δ parameter.
+func (nd *Node) DeltaValue() int64 { return nd.deltaV.Load() }
+
+// SetDelta retunes the live δ parameter (clamped at 0). Takes effect on
+// the next helping decision; safe from any goroutine.
+func (nd *Node) SetDelta(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	nd.deltaV.Store(d)
+}
+
+// AckStats returns this node's gossip-mode tallies (zero when delta
+// gossip is disabled).
+func (nd *Node) AckStats() node.AckStats {
+	if nd.acks == nil {
+		return node.AckStats{}
+	}
+	return nd.acks.Stats()
+}
+
+// CorruptAckTable fills the delta-gossip ack table with arbitrary values —
+// the chaos nemesis for the stabilization obligation. No-op when delta
+// gossip is disabled.
+func (nd *Node) CorruptAckTable(rng *rand.Rand) {
+	if nd.acks == nil {
+		return
+	}
+	nd.rt.RecordEvent("ack-corrupt", "delta-gossip ack table overwritten")
+	nd.acks.Corrupt(rng)
 }
 
 // Start launches the node's goroutines.
@@ -113,6 +165,7 @@ func (nd *Node) vcLocked() types.VectorClock { return nd.reg.VC() }
 // unfinished task.
 func (nd *Node) deltaLocked() []wire.TaskInfo {
 	vc := nd.vcLocked()
+	delta := nd.deltaV.Load()
 	var out []wire.TaskInfo
 	for k := range nd.pndTsk {
 		p := nd.pndTsk[k]
@@ -122,9 +175,9 @@ func (nd *Node) deltaLocked() []wire.TaskInfo {
 			include = p.sns > 0 && p.fnl == nil
 		case p.fnl != nil:
 			// finished: nothing to do
-		case nd.cfg.Delta == 0 && p.sns > 0:
+		case delta == 0 && p.sns > 0:
 			include = true
-		case p.vc != nil && nd.cfg.Delta <= p.vc.DiffSum(vc):
+		case p.vc != nil && delta <= p.vc.DiffSum(vc):
 			include = true
 		}
 		if include {
@@ -209,12 +262,17 @@ func (nd *Node) Tick() {
 		task  pnd
 	}
 	nd.mu.Lock()
-	// Line 75: out-dated operation indices.
+	// Line 75: out-dated operation indices. An index lagging its own
+	// register/task entry is the footprint of a transient fault — repaired
+	// state invalidates the delta-gossip ack table below.
+	idxRepaired := false
 	if own := nd.reg[nd.id].TS; own > nd.ts {
 		nd.ts = own
+		idxRepaired = true
 	}
 	if own := nd.pndTsk[nd.id].sns; own > nd.sns {
 		nd.sns = own
+		idxRepaired = true
 	}
 	// Line 76: illogical vector clocks.
 	vc := nd.vcLocked()
@@ -252,8 +310,11 @@ func (nd *Node) Tick() {
 	if pndRepaired {
 		nd.rt.RecordEvent("pndtsk-repair", "own pending-task entry disagreed with sns")
 	}
+	if (pndRepaired || idxRepaired) && nd.acks != nil {
+		nd.acks.Reset() // suspect state: next tick gossips in full
+	}
 
-	nd.rt.GossipTo(func(k int) *wire.Message {
+	full := func(k int) *wire.Message {
 		g := gossip[k]
 		return &wire.Message{
 			Type:  wire.TGossip,
@@ -262,7 +323,47 @@ func (nd *Node) Tick() {
 			Tasks: []wire.TaskInfo{{Node: int32(k), SNS: g.task.sns, VC: g.task.vc}},
 			Saves: []wire.SaveEntry{{Node: int32(k), SNS: g.task.sns, Result: g.task.fnl}},
 		}
-	})
+	}
+	if nd.acks == nil {
+		nd.rt.GossipTo(full)
+	} else {
+		nd.acks.Advance()
+		counters := nd.rt.Counters()
+		nd.rt.GossipTo(func(k int) *wire.Message {
+			g := gossip[k]
+			st, fresh := nd.acks.Fresh(k)
+			if !fresh {
+				m := full(k)
+				nd.acks.NoteFull()
+				counters.RecordGossipFull(m.Size())
+				return m
+			}
+			// The peer acked (its own register index, its own sns, whether
+			// its own task is done) recently. We must still send iff our
+			// knowledge of the peer's own entry or task exceeds the ack —
+			// that is exactly the repair case gossip exists for.
+			resultNeeded := g.task.fnl != nil &&
+				(g.task.sns > st.SNS || (g.task.sns == st.SNS && !st.Done))
+			if g.entry.TS <= st.TS && g.task.sns <= st.SNS && !resultNeeded {
+				nd.acks.NoteSuppressed()
+				counters.RecordGossipSuppressed()
+				return nil
+			}
+			// Delta send: trim pieces the ack already covers. The receiver
+			// reads only Entry, SNS and Saves from a GOSSIP (Tasks mirror
+			// SNS), so the trimmed message repairs exactly as the full one.
+			m := &wire.Message{Type: wire.TGossip, SNS: g.task.sns}
+			if g.entry.TS > st.TS {
+				m.Entry = g.entry
+			}
+			if resultNeeded {
+				m.Saves = []wire.SaveEntry{{Node: int32(k), SNS: g.task.sns, Result: g.task.fnl}}
+			}
+			nd.acks.NoteDelta()
+			counters.RecordGossipDelta(m.Size())
+			return m
+		})
+	}
 
 	// Line 79: serve the pending write first.
 	if pw != nil {
@@ -391,7 +492,7 @@ func (nd *Node) baseSnapshot(s map[int32]struct{}) {
 		exit := len(cur) == 0
 		if !exit && len(cur) == 1 && cur[0].Node == int32(nd.id) {
 			p := nd.pndTsk[nd.id]
-			if p.sns > 0 && p.fnl == nil && p.vc != nil && nd.cfg.Delta <= p.vc.DiffSum(nd.vcLocked()) {
+			if p.sns > 0 && p.fnl == nil && p.vc != nil && nd.deltaV.Load() <= p.vc.DiffSum(nd.vcLocked()) {
 				exit = true
 			}
 		}
@@ -474,7 +575,24 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 				}
 			}
 		}
+		ownTS := nd.reg[nd.id].TS
+		ownSNS := nd.sns
+		ownDone := nd.pndTsk[nd.id].fnl != nil
 		nd.mu.Unlock()
+		if nd.acks != nil {
+			// Echo the post-merge own indices so the sender can skip
+			// re-gossiping what this node already holds.
+			ack := &wire.Message{Type: wire.TGossipAck, TS: ownTS, SNS: ownSNS}
+			if ownDone {
+				ack.TaskSN = 1
+			}
+			nd.rt.Send(int(m.From), ack)
+		}
+
+	case wire.TGossipAck:
+		if nd.acks != nil {
+			nd.acks.Record(int(m.From), node.AckState{TS: m.TS, SNS: m.SNS, Done: m.TaskSN != 0})
+		}
 
 	case wire.TWrite:
 		// Lines 100–102.
@@ -555,6 +673,9 @@ func (nd *Node) StateSummary() State {
 // with arbitrary values (§2 fault model).
 func (nd *Node) Corrupt(rng *rand.Rand) {
 	nd.rt.RecordEvent("transient-fault", "algorithm variables overwritten")
+	if nd.acks != nil {
+		nd.acks.Reset() // repaired state must be re-gossiped in full
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.ts = rng.Int63n(1 << 20)
@@ -589,11 +710,14 @@ func (nd *Node) RestartDetectable() {
 	nd.rt.RecordEvent("detectable-restart", "variables re-initialised, channels drained")
 	nd.rt.RestartDetectable(func() {
 		nd.mu.Lock()
-		defer nd.mu.Unlock()
 		nd.ts, nd.ssn, nd.sns = 0, 0, 0
 		nd.reg = types.NewRegVector(nd.n)
 		nd.writePending = nil
 		nd.pndTsk = make([]pnd, nd.n)
+		nd.mu.Unlock()
+		if nd.acks != nil {
+			nd.acks.Reset()
+		}
 	})
 }
 
@@ -641,7 +765,6 @@ func (nd *Node) MergeReg(r types.RegVector) {
 // the reset only runs with all nodes frozen and drained.
 func (nd *Node) ApplyReset() {
 	nd.mu.Lock()
-	defer nd.mu.Unlock()
 	for k := range nd.reg {
 		if !nd.reg[k].IsBottom() {
 			nd.reg[k].TS = 1
@@ -650,6 +773,10 @@ func (nd *Node) ApplyReset() {
 	nd.ts = nd.reg[nd.id].TS
 	nd.ssn, nd.sns = 0, 0
 	nd.pndTsk = make([]pnd, nd.n)
+	nd.mu.Unlock()
+	if nd.acks != nil {
+		nd.acks.Reset() // pre-reset acks describe collapsed indices
+	}
 }
 
 // LocalInvariantHolds checks Definition 1's per-node invariants (i)–(iv)

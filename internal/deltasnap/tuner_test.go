@@ -1,0 +1,99 @@
+package deltasnap
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/metrics"
+)
+
+func stats(count int, mean time.Duration) metrics.LatencyStats {
+	return metrics.LatencyStats{Count: count, Mean: mean}
+}
+
+func TestTunerLowersDeltaWhenSnapshotsLag(t *testing.T) {
+	tu := NewTuner(8, TunerConfig{})
+	// Snapshots 100× slower than writes: way above the 8×2 band edge.
+	d, changed := tu.Observe(stats(10, time.Millisecond), stats(10, 100*time.Millisecond))
+	if !changed || d != 7 {
+		t.Fatalf("Observe = (%d, %v), want (7, true)", d, changed)
+	}
+	// Next window, same imbalance: another step down.
+	d, changed = tu.Observe(stats(20, time.Millisecond), stats(20, 100*time.Millisecond))
+	if !changed || d != 6 {
+		t.Fatalf("second Observe = (%d, %v), want (6, true)", d, changed)
+	}
+}
+
+func TestTunerRaisesDeltaWhenSnapshotsFast(t *testing.T) {
+	tu := NewTuner(2, TunerConfig{})
+	// Snapshot latency ≈ write latency: below the 8/2 band edge.
+	d, changed := tu.Observe(stats(10, time.Millisecond), stats(10, time.Millisecond))
+	if !changed || d != 3 {
+		t.Fatalf("Observe = (%d, %v), want (3, true)", d, changed)
+	}
+}
+
+func TestTunerDeadBandHoldsDelta(t *testing.T) {
+	tu := NewTuner(5, TunerConfig{})
+	// Ratio exactly at target: inside [4, 16], no move.
+	d, changed := tu.Observe(stats(10, time.Millisecond), stats(10, 8*time.Millisecond))
+	if changed || d != 5 {
+		t.Fatalf("Observe = (%d, %v), want (5, false)", d, changed)
+	}
+}
+
+func TestTunerNeedsMinSamplesPerWindow(t *testing.T) {
+	tu := NewTuner(8, TunerConfig{MinSamples: 4})
+	if _, changed := tu.Observe(stats(3, time.Millisecond), stats(3, time.Second)); changed {
+		t.Fatal("adjusted on a window below MinSamples")
+	}
+	// The short window was not committed: the next observation sees all 8
+	// samples and may adjust.
+	if _, changed := tu.Observe(stats(8, time.Millisecond), stats(8, time.Second)); !changed {
+		t.Fatal("window with enough accumulated samples must adjust")
+	}
+}
+
+func TestTunerClampsAtBounds(t *testing.T) {
+	tu := NewTuner(0, TunerConfig{Min: 0, Max: 2})
+	// Snapshots catastrophically slow, but δ is already at Min.
+	if _, changed := tu.Observe(stats(10, time.Millisecond), stats(10, time.Second)); changed {
+		t.Fatal("moved below Min")
+	}
+	// Fast snapshots walk δ up, stopping at Max.
+	for i := 0; i < 5; i++ {
+		tu.Observe(stats(10*(i+2), time.Millisecond), stats(10*(i+2), time.Millisecond))
+	}
+	if d := tu.Delta(); d != 2 {
+		t.Fatalf("Delta = %d, want clamp at Max=2", d)
+	}
+}
+
+func TestTunerWindowingUsesDeltasNotCumulativeMeans(t *testing.T) {
+	tu := NewTuner(5, TunerConfig{})
+	// First window: balanced — committed, no change.
+	tu.Observe(stats(100, time.Millisecond), stats(100, 8*time.Millisecond))
+	// Second window: only the NEW 10 snapshots are slow. The cumulative
+	// mean barely moves, but the window mean is 10× — the tuner must see
+	// the window, not the lifetime average.
+	// cumulative snap mean: (100·8ms + 10·800ms) / 110 ≈ 80ms → window 800ms.
+	newSnapMean := (100*8*time.Millisecond + 10*800*time.Millisecond) / 110
+	d, changed := tu.Observe(stats(110, time.Millisecond), stats(110, newSnapMean))
+	if !changed || d != 4 {
+		t.Fatalf("Observe = (%d, %v), want (4, true): windowed ratio must dominate", d, changed)
+	}
+}
+
+func TestTunerResyncsOnRecorderReset(t *testing.T) {
+	tu := NewTuner(5, TunerConfig{})
+	tu.Observe(stats(100, time.Millisecond), stats(100, 8*time.Millisecond))
+	// Counts regress (recorder swapped): must resync, not panic or adjust.
+	if _, changed := tu.Observe(stats(4, time.Millisecond), stats(4, time.Second)); changed {
+		t.Fatal("adjusted on a regressed window")
+	}
+	// After resync, fresh windows drive decisions again.
+	if _, changed := tu.Observe(stats(14, time.Millisecond), stats(14, time.Second)); !changed {
+		t.Fatal("post-resync window must adjust")
+	}
+}

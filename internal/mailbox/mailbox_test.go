@@ -144,3 +144,94 @@ func TestConcurrentPushPop(t *testing.T) {
 		t.Errorf("drained %d messages, want (0, %d]", got, producers*per)
 	}
 }
+
+// TestEvictionsCounterExact: the lock-free Evictions counter agrees with
+// Push's per-call eviction reports, and survives Drain (it counts losses
+// over the queue's lifetime, not its current content).
+func TestEvictionsCounterExact(t *testing.T) {
+	q := New[*wire.Message](3)
+	reported := int64(0)
+	for i := int64(0); i < 10; i++ {
+		if q.Push(msg(i)) {
+			reported++
+		}
+	}
+	if got := q.Evictions(); got != reported || got != 7 {
+		t.Errorf("Evictions = %d, Push reported %d, want 7", got, reported)
+	}
+	q.Drain()
+	if got := q.Evictions(); got != 7 {
+		t.Errorf("Drain changed Evictions to %d, want 7 (lifetime counter)", got)
+	}
+	// Closed queues discard without evicting: the counter must not move.
+	q.Close()
+	q.Push(msg(99))
+	if got := q.Evictions(); got != 7 {
+		t.Errorf("push-after-close moved Evictions to %d, want 7", got)
+	}
+}
+
+// TestEvictionMeteringUnderContention is the -race hammer for the
+// eviction meter: several producers overflow a small queue while a
+// consumer pops concurrently (including blocked receives that wake into
+// evicting pushes). It pins two properties no matter the interleaving:
+// exact conservation (popped + evicted + still queued == pushed) and
+// drop-oldest order (each producer's surviving messages arrive in the
+// order it pushed them).
+func TestEvictionMeteringUnderContention(t *testing.T) {
+	const capacity, producers, per = 8, 4, 2000
+	q := New[*wire.Message](capacity)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				// SSN encodes (producer, sequence) so the consumer can check
+				// per-producer FIFO order across evictions.
+				q.Push(msg(int64(p)*per + i))
+			}
+		}()
+	}
+
+	popped := int64(0)
+	lastSeq := make([]int64, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			m, ok := q.Pop()
+			if !ok {
+				return
+			}
+			popped++
+			prod, seq := m.SSN/per, m.SSN%per
+			if lastSeq[prod] >= seq {
+				t.Errorf("producer %d delivered out of order: seq %d after %d", prod, seq, lastSeq[prod])
+				return
+			}
+			lastSeq[prod] = seq
+		}
+	}()
+
+	wg.Wait()
+	q.Close()
+	rwg.Wait()
+
+	// The consumer drains everything buffered at Close, so nothing is left:
+	// every pushed message was either delivered or metered as evicted.
+	total := int64(producers * per)
+	if got := popped + q.Evictions() + int64(q.Len()); got != total {
+		t.Errorf("conservation broken: popped %d + evicted %d + queued %d = %d, want %d",
+			popped, q.Evictions(), q.Len(), got, total)
+	}
+	if q.Evictions() == 0 {
+		t.Error("hammer never overflowed the queue; shrink capacity or raise per")
+	}
+}

@@ -26,6 +26,18 @@ type Counters struct {
 	reconnects   atomic.Int64
 	writeFails   atomic.Int64
 	invalidTypes atomic.Int64
+
+	// Gossip-mode accounting: how many GOSSIP sends were full-vector
+	// fallbacks vs ack-dominance deltas, and how many ticks suppressed a
+	// send entirely. Recorded by the algorithm layer at message-build time
+	// with the same Size() the transport meters, so on a clean network
+	// gossipFullBytes+gossipDeltaBytes reconciles exactly with the
+	// transport's Bytes(TGossip).
+	gossipFull       atomic.Int64
+	gossipFullBytes  atomic.Int64
+	gossipDelta      atomic.Int64
+	gossipDeltaBytes atomic.Int64
+	gossipSuppressed atomic.Int64
 }
 
 // inRange reports whether t indexes the fixed per-type arrays. A transient
@@ -82,6 +94,33 @@ func (c *Counters) RecordWriteFailure() { c.writeFails.Add(1) }
 // RecordInvalidType accounts one message whose type fell outside the known
 // range — the footprint of a transient fault corrupting a type field.
 func (c *Counters) RecordInvalidType() { c.invalidTypes.Add(1) }
+
+// RecordGossipFull accounts one full-vector fallback gossip send of n bytes
+// (no fresh ack from the peer: staleness, repair, or divergence).
+func (c *Counters) RecordGossipFull(n int) {
+	c.gossipFull.Add(1)
+	c.gossipFullBytes.Add(int64(n))
+}
+
+// RecordGossipDelta accounts one delta gossip send of n bytes (the entry
+// dominates what the peer last acked).
+func (c *Counters) RecordGossipDelta(n int) {
+	c.gossipDelta.Add(1)
+	c.gossipDeltaBytes.Add(int64(n))
+}
+
+// RecordGossipSuppressed accounts one per-peer gossip send elided because
+// the peer's fresh ack already dominates everything we would tell it.
+func (c *Counters) RecordGossipSuppressed() { c.gossipSuppressed.Add(1) }
+
+// GossipFull returns the number of full-vector fallback gossip sends.
+func (c *Counters) GossipFull() int64 { return c.gossipFull.Load() }
+
+// GossipDelta returns the number of delta gossip sends.
+func (c *Counters) GossipDelta() int64 { return c.gossipDelta.Load() }
+
+// GossipSuppressed returns the number of suppressed per-peer gossip sends.
+func (c *Counters) GossipSuppressed() int64 { return c.gossipSuppressed.Load() }
 
 // Messages returns the number of messages of type t sent so far; 0 for an
 // out-of-range t.
@@ -155,6 +194,11 @@ func (c *Counters) Snapshot() Snapshot {
 	s.Reconnects = c.reconnects.Load()
 	s.WriteFailures = c.writeFails.Load()
 	s.InvalidTypes = c.invalidTypes.Load()
+	s.GossipFull = c.gossipFull.Load()
+	s.GossipFullBytes = c.gossipFullBytes.Load()
+	s.GossipDelta = c.gossipDelta.Load()
+	s.GossipDeltaBytes = c.gossipDeltaBytes.Load()
+	s.GossipSuppressed = c.gossipSuppressed.Load()
 	return s
 }
 
@@ -175,6 +219,13 @@ type Snapshot struct {
 	Reconnects    int64
 	WriteFailures int64
 	InvalidTypes  int64
+
+	// Gossip-mode breakdown of the TGossip sends above.
+	GossipFull       int64
+	GossipFullBytes  int64
+	GossipDelta      int64
+	GossipDeltaBytes int64
+	GossipSuppressed int64
 }
 
 // Sub returns the difference s − o, the traffic between two snapshots.
@@ -189,6 +240,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Reconnects:    s.Reconnects - o.Reconnects,
 		WriteFailures: s.WriteFailures - o.WriteFailures,
 		InvalidTypes:  s.InvalidTypes - o.InvalidTypes,
+
+		GossipFull:       s.GossipFull - o.GossipFull,
+		GossipFullBytes:  s.GossipFullBytes - o.GossipFullBytes,
+		GossipDelta:      s.GossipDelta - o.GossipDelta,
+		GossipDeltaBytes: s.GossipDeltaBytes - o.GossipDeltaBytes,
+		GossipSuppressed: s.GossipSuppressed - o.GossipSuppressed,
 	}
 	for t, tc := range s.PerType {
 		prev := o.PerType[t]
@@ -233,6 +290,10 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d drops=%d dups=%d evictions=%d\n", "TOTAL", s.Messages, s.Bytes, s.Drops, s.Dups, s.Evictions)
 	if s.Reconnects != 0 || s.WriteFailures != 0 || s.InvalidTypes != 0 {
 		fmt.Fprintf(&b, "%-14s reconnects=%d write-failures=%d invalid-types=%d\n", "TRANSPORT", s.Reconnects, s.WriteFailures, s.InvalidTypes)
+	}
+	if s.GossipFull != 0 || s.GossipDelta != 0 || s.GossipSuppressed != 0 {
+		fmt.Fprintf(&b, "%-14s full=%d (%dB) delta=%d (%dB) suppressed=%d\n", "GOSSIP-MODE",
+			s.GossipFull, s.GossipFullBytes, s.GossipDelta, s.GossipDeltaBytes, s.GossipSuppressed)
 	}
 	return b.String()
 }

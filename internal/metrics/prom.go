@@ -41,6 +41,11 @@ func (c *Counters) WritePrometheus(w io.Writer) {
 		{"selfstabsnap_reconnects_total", s.Reconnects},
 		{"selfstabsnap_write_failures_total", s.WriteFailures},
 		{"selfstabsnap_invalid_types_total", s.InvalidTypes},
+		{"selfstabsnap_gossip_full_total", s.GossipFull},
+		{"selfstabsnap_gossip_full_bytes_total", s.GossipFullBytes},
+		{"selfstabsnap_gossip_delta_total", s.GossipDelta},
+		{"selfstabsnap_gossip_delta_bytes_total", s.GossipDeltaBytes},
+		{"selfstabsnap_gossip_suppressed_total", s.GossipSuppressed},
 	} {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", row.name, row.name, row.v)
 	}

@@ -29,6 +29,10 @@ func TestWritePrometheusMatchesSnapshot(t *testing.T) {
 	c.RecordReconnect()
 	c.RecordWriteFailure()
 	c.RecordInvalidType()
+	c.RecordGossipFull(40)
+	c.RecordGossipDelta(12)
+	c.RecordGossipDelta(12)
+	c.RecordGossipSuppressed()
 
 	var buf bytes.Buffer
 	c.WritePrometheus(&buf)
@@ -88,6 +92,11 @@ func assertPromMatchesSnapshot(t *testing.T, r io.Reader, s Snapshot) {
 		"selfstabsnap_reconnects_total":        s.Reconnects,
 		"selfstabsnap_write_failures_total":    s.WriteFailures,
 		"selfstabsnap_invalid_types_total":     s.InvalidTypes,
+		"selfstabsnap_gossip_full_total":       s.GossipFull,
+		"selfstabsnap_gossip_full_bytes_total": s.GossipFullBytes,
+		"selfstabsnap_gossip_delta_total":      s.GossipDelta,
+		"selfstabsnap_gossip_delta_bytes_total": s.GossipDeltaBytes,
+		"selfstabsnap_gossip_suppressed_total":  s.GossipSuppressed,
 	}
 	for typ, tc := range s.PerType {
 		want[fmt.Sprintf("selfstabsnap_messages_total{type=%q}", typ.String())] = tc.Messages

@@ -1,0 +1,117 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAckTableFreshnessWindow(t *testing.T) {
+	a := NewAckTable(3, 4)
+	if _, ok := a.Fresh(1); ok {
+		t.Fatal("empty table must not report fresh acks")
+	}
+	a.Record(1, AckState{TS: 7, SNS: 2})
+	st, ok := a.Fresh(1)
+	if !ok || st.TS != 7 || st.SNS != 2 {
+		t.Fatalf("Fresh(1) = %+v, %v; want recorded state", st, ok)
+	}
+	// Still fresh strictly inside the window, stale at its edge.
+	for i := 0; i < 3; i++ {
+		a.Advance()
+		if _, ok := a.Fresh(1); !ok {
+			t.Fatalf("ack stale after %d ticks, staleness 4", i+1)
+		}
+	}
+	a.Advance()
+	if _, ok := a.Fresh(1); ok {
+		t.Fatal("ack still fresh after a full staleness window")
+	}
+	// A new ack refreshes the entry.
+	a.Record(1, AckState{TS: 8})
+	if _, ok := a.Fresh(1); !ok {
+		t.Fatal("re-recorded ack must be fresh again")
+	}
+}
+
+func TestAckTableRecordOverwritesRegressions(t *testing.T) {
+	a := NewAckTable(2, 8)
+	a.Record(0, AckState{TS: 100, SNS: 50, Done: true})
+	// The peer lost state (detectable restart): its next ack regresses and
+	// must replace the larger one so repair gossip resumes.
+	a.Record(0, AckState{TS: 0, SNS: 0})
+	st, ok := a.Fresh(0)
+	if !ok || st.TS != 0 || st.SNS != 0 || st.Done {
+		t.Fatalf("Fresh(0) = %+v, %v; want the regressed ack", st, ok)
+	}
+}
+
+func TestAckTableResetInvalidatesAll(t *testing.T) {
+	a := NewAckTable(4, 8)
+	for k := 0; k < 4; k++ {
+		a.Record(k, AckState{TS: int64(k)})
+	}
+	a.Reset()
+	for k := 0; k < 4; k++ {
+		if _, ok := a.Fresh(k); ok {
+			t.Fatalf("entry %d survived Reset", k)
+		}
+	}
+}
+
+func TestAckTableOutOfRangePeers(t *testing.T) {
+	a := NewAckTable(2, 8)
+	a.Record(-1, AckState{TS: 1}) // must not panic
+	a.Record(7, AckState{TS: 1})
+	if _, ok := a.Fresh(-1); ok {
+		t.Fatal("out-of-range peer reported fresh")
+	}
+	if _, ok := a.Fresh(7); ok {
+		t.Fatal("out-of-range peer reported fresh")
+	}
+}
+
+// TestAckTableCorruptionExpires pins the stabilization obligation: however
+// a corrupted entry lies (including claiming a future receipt tick), once
+// the owner keeps ticking and consulting the table — exactly what the
+// do-forever loop does — every entry stops being fresh within one
+// staleness window.
+func TestAckTableCorruptionExpires(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := NewAckTable(5, 6)
+		for i := 0; i < int(rng.Int63n(20)); i++ {
+			a.Advance()
+		}
+		a.Corrupt(rng)
+		for k := 0; k < 5; k++ {
+			a.Fresh(k) // first post-fault tick scrubs future-ticked entries
+		}
+		for i := int64(0); i < 6; i++ {
+			a.Advance()
+		}
+		for k := 0; k < 5; k++ {
+			if _, ok := a.Fresh(k); ok {
+				t.Fatalf("trial %d: corrupted entry %d still fresh after a full window", trial, k)
+			}
+		}
+	}
+}
+
+func TestAckStateDominates(t *testing.T) {
+	cases := []struct {
+		a, b AckState
+		want bool
+	}{
+		{AckState{TS: 2, SNS: 2, Done: true}, AckState{TS: 1, SNS: 2}, true},
+		{AckState{TS: 2, SNS: 2}, AckState{TS: 2, SNS: 2}, true},
+		{AckState{TS: 1, SNS: 2}, AckState{TS: 2, SNS: 2}, false},
+		{AckState{TS: 2, SNS: 1}, AckState{TS: 2, SNS: 2}, false},
+		{AckState{TS: 2, SNS: 2}, AckState{TS: 2, SNS: 2, Done: true}, false},
+		{AckState{TS: 2, SNS: 2, Done: true}, AckState{TS: 2, SNS: 2, Done: true}, true},
+	}
+	for i, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("case %d: %+v.Dominates(%+v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/netsim"
+	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/wire"
 )
 
@@ -19,38 +20,48 @@ type resettableAlg struct {
 func (a *resettableAlg) HandleMessage(m *wire.Message) {}
 func (a *resettableAlg) Tick()                         { a.ticks.Add(1) }
 
+// TestRestartDetectable runs on a virtual clock: virtual sleeps advance
+// simulated time exactly, so the post-restart tick check is a precise
+// two-loop-interval assertion instead of a wall-clock deadline poll that
+// flakes on loaded machines.
 func TestRestartDetectable(t *testing.T) {
-	net := netsim.New(netsim.Config{N: 2, Seed: 1})
-	defer net.Close()
-	alg := &resettableAlg{}
-	rt := NewRuntime(0, net, alg, fastOpts())
-	rt.Start()
-	defer rt.Close()
+	v := simclock.NewVirtual()
+	v.Run("restart-detectable", func() {
+		net := netsim.New(netsim.Config{N: 2, Seed: 1, Clock: v})
+		defer net.Close()
+		alg := &resettableAlg{}
+		opts := fastOpts()
+		opts.Clock = v
+		rt := NewRuntime(0, net, alg, opts)
+		rt.Start()
+		defer rt.Close()
 
-	// Queue a message that must be lost by the restart... deliver it while
-	// crashed so the drain has something to discard.
-	rt.Crash()
-	net.Send(1, 0, &wire.Message{Type: wire.TWrite})
-	// Give the dispatcher a moment to consume-and-drop or leave it queued;
-	// either way the restart must come up clean and ticking.
-	time.Sleep(5 * time.Millisecond)
+		// Queue a message that must be lost by the restart... deliver it while
+		// crashed so the drain has something to discard.
+		rt.Crash()
+		net.Send(1, 0, &wire.Message{Type: wire.TWrite})
+		// Give the dispatcher a moment to consume-and-drop or leave it queued;
+		// either way the restart must come up clean and ticking.
+		v.Sleep(5 * time.Millisecond)
 
-	rt.RestartDetectable(func() { alg.resets.Add(1) })
+		rt.RestartDetectable(func() { alg.resets.Add(1) })
 
-	if rt.Crashed() {
-		t.Fatal("node still crashed after detectable restart")
-	}
-	if alg.resets.Load() != 1 {
-		t.Fatalf("reset hook ran %d times, want 1", alg.resets.Load())
-	}
-	base := alg.ticks.Load()
-	deadline := time.Now().Add(time.Second)
-	for alg.ticks.Load() == base {
-		if time.Now().After(deadline) {
-			t.Fatal("node does not tick after restart")
+		if rt.Crashed() {
+			t.Error("node still crashed after detectable restart")
+			return
 		}
-		time.Sleep(time.Millisecond)
-	}
+		if alg.resets.Load() != 1 {
+			t.Errorf("reset hook ran %d times, want 1", alg.resets.Load())
+			return
+		}
+		base := alg.ticks.Load()
+		// Two loop intervals of virtual time guarantee the next do-forever
+		// iteration has run — deterministically, no polling.
+		v.Sleep(2 * fastOpts().LoopInterval)
+		if alg.ticks.Load() == base {
+			t.Error("node does not tick after restart")
+		}
+	})
 }
 
 // TestRestartDetectableFromRunning: works without a preceding crash too.

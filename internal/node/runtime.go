@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selfstabsnap/internal/metrics"
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/obs"
 	"selfstabsnap/internal/simclock"
@@ -145,6 +146,11 @@ func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runti
 
 // ID returns this node's identifier.
 func (r *Runtime) ID() int { return r.id }
+
+// Counters exposes the transport's meters, so algorithms can account
+// protocol-level decisions (delta vs full gossip) in the same place the
+// transport meters the resulting traffic.
+func (r *Runtime) Counters() *metrics.Counters { return r.tr.Counters() }
 
 // N returns the cluster size.
 func (r *Runtime) N() int { return r.n }

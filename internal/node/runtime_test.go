@@ -235,15 +235,34 @@ func TestCrashStopsStepsAndResumeRestores(t *testing.T) {
 	})
 }
 
+// TestLoopCountAdvances runs on a virtual clock: five loop intervals of
+// virtual time are exactly enough for five do-forever iterations, so the
+// old wall-clock deadline poll becomes a deterministic assertion.
 func TestLoopCountAdvances(t *testing.T) {
-	_, rts, _ := newEchoCluster(t, 3, netsim.Adversary{})
-	deadline := time.Now().Add(time.Second)
-	for rts[0].LoopCount() < 5 {
-		if time.Now().After(deadline) {
-			t.Fatal("loop count stuck")
+	v := simclock.NewVirtual()
+	v.Run("loop-count-advances", func() {
+		net := netsim.New(netsim.Config{N: 3, Seed: 77, Clock: v})
+		defer net.Close()
+		rts := make([]*Runtime, 3)
+		for i := range rts {
+			alg := &echoAlg{}
+			opts := fastOpts()
+			opts.Clock = v
+			rts[i] = NewRuntime(i, net, alg, opts)
+			alg.rt = rts[i]
+			rts[i].Start()
 		}
-		time.Sleep(time.Millisecond)
-	}
+		defer func() {
+			for _, rt := range rts {
+				rt.Close()
+			}
+		}()
+
+		v.Sleep(6 * fastOpts().LoopInterval)
+		if got := rts[0].LoopCount(); got < 5 {
+			t.Errorf("LoopCount = %d after 6 loop intervals, want ≥ 5", got)
+		}
+	})
 }
 
 func TestGossipToExcludesSelf(t *testing.T) {

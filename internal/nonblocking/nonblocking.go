@@ -34,6 +34,11 @@ type Config struct {
 	// SelfStabilizing enables the paper's boxed additions (gossip and index
 	// hygiene). False yields the Delporte-Gallet et al. baseline.
 	SelfStabilizing bool
+	// FullGossip disables delta gossip: every tick sends the full per-peer
+	// entry regardless of what the peer acknowledged, as in the paper's
+	// listing. The zero value (delta gossip on) suppresses sends the
+	// peer's fresh GOSSIPack already dominates.
+	FullGossip bool
 	// Runtime tuning forwarded to the node runtime.
 	Runtime node.Options
 }
@@ -54,13 +59,41 @@ type Node struct {
 	ts  int64      // write-operation index
 	ssn int64      // snapshot query index
 	reg types.RegVector
+
+	// acks is the delta-gossip ack table (nil when self-stabilization is
+	// off or FullGossip requested). It has its own lock and is soft state:
+	// resetting it on every repair event costs only extra gossip.
+	acks *node.AckTable
 }
 
 // New creates a node with identifier id over transport tr.
 func New(id int, tr netsim.Transport, cfg Config) *Node {
 	nd := &Node{cfg: cfg, id: id, n: tr.N(), reg: types.NewRegVector(tr.N())}
+	if cfg.SelfStabilizing && !cfg.FullGossip {
+		nd.acks = node.NewAckTable(tr.N(), node.DefaultAckStaleness)
+	}
 	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
 	return nd
+}
+
+// AckStats returns this node's gossip-mode tallies (zero when delta
+// gossip is disabled).
+func (nd *Node) AckStats() node.AckStats {
+	if nd.acks == nil {
+		return node.AckStats{}
+	}
+	return nd.acks.Stats()
+}
+
+// CorruptAckTable fills the delta-gossip ack table with arbitrary values —
+// the chaos nemesis for the stabilization obligation. No-op when delta
+// gossip is disabled.
+func (nd *Node) CorruptAckTable(rng *rand.Rand) {
+	if nd.acks == nil {
+		return
+	}
+	nd.rt.RecordEvent("ack-corrupt", "delta-gossip ack table overwritten")
+	nd.acks.Corrupt(rng)
 }
 
 // Start launches the node's goroutines.
@@ -186,12 +219,40 @@ func (nd *Node) Tick() {
 		// ts lagging the own register write index is the footprint of a
 		// transient fault or restart — normal operation keeps ts ahead.
 		nd.rt.RecordEvent("ts-repair", "raised ts to own register write index")
+		if nd.acks != nil {
+			nd.acks.Reset() // suspect state: next tick gossips in full
+		}
 	}
 
 	// Line 11: send GOSSIP(reg[k]) to each p_k ≠ p_i — O(ν) bits each,
-	// telling every node what we believe its own register holds.
+	// telling every node what we believe its own register holds. With
+	// delta gossip the send is elided when p_k's fresh GOSSIPack already
+	// dominates the entry; a missing or stale ack falls back to the full
+	// per-tick send of the paper's listing.
+	if nd.acks == nil {
+		nd.rt.GossipTo(func(k int) *wire.Message {
+			return &wire.Message{Type: wire.TGossip, Entry: gossip[k]}
+		})
+		return
+	}
+	nd.acks.Advance()
+	counters := nd.rt.Counters()
 	nd.rt.GossipTo(func(k int) *wire.Message {
-		return &wire.Message{Type: wire.TGossip, Entry: gossip[k]}
+		st, fresh := nd.acks.Fresh(k)
+		if fresh && st.TS >= gossip[k].TS {
+			nd.acks.NoteSuppressed()
+			counters.RecordGossipSuppressed()
+			return nil
+		}
+		m := &wire.Message{Type: wire.TGossip, Entry: gossip[k]}
+		if fresh {
+			nd.acks.NoteDelta()
+			counters.RecordGossipDelta(m.Size())
+		} else {
+			nd.acks.NoteFull()
+			counters.RecordGossipFull(m.Size())
+		}
+		return m
 	})
 }
 
@@ -212,7 +273,18 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 		if own := nd.reg[nd.id].TS; own > nd.ts {
 			nd.ts = own
 		}
+		ownTS := nd.reg[nd.id].TS
 		nd.mu.Unlock()
+		if nd.acks != nil {
+			// Echo the post-merge own write index so the sender can skip
+			// re-gossiping what this node already holds.
+			nd.rt.Send(int(m.From), &wire.Message{Type: wire.TGossipAck, TS: ownTS})
+		}
+
+	case wire.TGossipAck:
+		if nd.acks != nil {
+			nd.acks.Record(int(m.From), node.AckState{TS: m.TS, SNS: m.SNS, Done: m.TaskSN != 0})
+		}
 
 	case wire.TWrite:
 		nd.mu.Lock()
@@ -250,6 +322,9 @@ func (nd *Node) StateSummary() State {
 // identity — stay intact, per the paper's fault model §2).
 func (nd *Node) Corrupt(rng *rand.Rand) {
 	nd.rt.RecordEvent("transient-fault", "algorithm variables overwritten")
+	if nd.acks != nil {
+		nd.acks.Reset() // repaired state must be re-gossiped in full
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.ts = rng.Int63n(1 << 20)
@@ -291,9 +366,12 @@ func (nd *Node) RestartDetectable() {
 	nd.rt.RecordEvent("detectable-restart", "variables re-initialised, channels drained")
 	nd.rt.RestartDetectable(func() {
 		nd.mu.Lock()
-		defer nd.mu.Unlock()
 		nd.ts, nd.ssn = 0, 0
 		nd.reg = types.NewRegVector(nd.n)
+		nd.mu.Unlock()
+		if nd.acks != nil {
+			nd.acks.Reset()
+		}
 	})
 }
 
@@ -340,7 +418,6 @@ func (nd *Node) MergeReg(r types.RegVector) {
 // runs (the reset protocol guarantees it).
 func (nd *Node) ApplyReset() {
 	nd.mu.Lock()
-	defer nd.mu.Unlock()
 	for k := range nd.reg {
 		if !nd.reg[k].IsBottom() {
 			nd.reg[k].TS = 1
@@ -348,4 +425,8 @@ func (nd *Node) ApplyReset() {
 	}
 	nd.ts = nd.reg[nd.id].TS
 	nd.ssn = 0
+	nd.mu.Unlock()
+	if nd.acks != nil {
+		nd.acks.Reset() // pre-reset acks describe collapsed indices
+	}
 }

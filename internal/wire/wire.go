@@ -24,6 +24,7 @@ const (
 	TSnapshot    // SNAPSHOT([s,t,]reg,ssn)   client → all
 	TSnapshotAck // SNAPSHOTack([s,t,]reg,ssn)server → client
 	TGossip      // GOSSIP(reg[k][,pndTsk[k],sns]) p_i → p_k
+	TGossipAck   // GOSSIPack(ts,sns[,done]): p_k echoes its own indices
 
 	// Algorithm 2 (reliable broadcast payloads).
 	TSnap // SNAP(source,sn): announce a snapshot task
@@ -68,6 +69,7 @@ var typeNames = [...]string{
 	TSnapshot:        "SNAPSHOT",
 	TSnapshotAck:     "SNAPSHOTack",
 	TGossip:          "GOSSIP",
+	TGossipAck:       "GOSSIPack",
 	TSnap:            "SNAP",
 	TEnd:             "END",
 	TSave:            "SAVE",

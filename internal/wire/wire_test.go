@@ -17,6 +17,7 @@ func sampleMessages() []*Message {
 		{Type: TGossip, Entry: types.TSValue{TS: 9, Val: types.Value("g")}, SNS: 3,
 			Tasks: []TaskInfo{{Node: 1, SNS: 5, VC: types.VectorClock{1, 2, 3}}},
 			Saves: []SaveEntry{{Node: 1, SNS: 5, Result: types.RegVector{{TS: 1}}}}},
+		{Type: TGossipAck, TS: 9, SNS: 3, TaskSN: 1},
 		{Type: TSnap, Src: 4, TaskSN: 17},
 		{Type: TEnd, Src: 0, TaskSN: 1, Saves: []SaveEntry{{Node: 0, SNS: 1, Result: types.RegVector{{}, {TS: 8, Val: types.Value("zz")}}}}},
 		{Type: TSave, Saves: []SaveEntry{{Node: 2, SNS: 9, Result: types.RegVector{{TS: 4}}}, {Node: 3, SNS: 1}}},
