@@ -61,6 +61,7 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "write period")
 		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
 		inboxCap = flag.Int("inbox", 0, "bounded inbox capacity, drop-oldest on overflow (0 = default 4096)")
+		shards   = flag.Int("shards", 1, "parallel dispatch shards per node (1 = classic single dispatcher)")
 		obsAddr  = flag.String("obs", "", "observability HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	)
 	flag.Parse()
@@ -79,9 +80,10 @@ func main() {
 
 	journal := obs.NewJournal(0)
 	opts := node.Options{
-		LoopInterval: 50 * time.Millisecond,
-		RetxInterval: 200 * time.Millisecond,
-		Journal:      journal,
+		LoopInterval:   50 * time.Millisecond,
+		RetxInterval:   200 * time.Millisecond,
+		Journal:        journal,
+		DispatchShards: *shards,
 	}
 
 	type snapObj interface {
@@ -147,6 +149,13 @@ func main() {
 				fmt.Fprintf(w, "# TYPE selfstabsnap_delta_adjustments_total counter\nselfstabsnap_delta_adjustments_total %d\n",
 					tuner.Adjustments())
 			}
+			if depths, ack := obj.Runtime().DispatchDepths(); depths != nil {
+				fmt.Fprintf(w, "# TYPE selfstabsnap_dispatch_queue_depth gauge\n")
+				for i, d := range depths {
+					fmt.Fprintf(w, "selfstabsnap_dispatch_queue_depth{lane=\"shard%d\"} %d\n", i, d)
+				}
+				fmt.Fprintf(w, "selfstabsnap_dispatch_queue_depth{lane=\"ack\"} %d\n", ack)
+			}
 		})
 		srv.SetStatus(func() any {
 			return struct {
@@ -154,6 +163,7 @@ func main() {
 				Addr        string             `json:"addr"`
 				Algorithm   string             `json:"algorithm"`
 				N           int                `json:"n"`
+				Shards      int                `json:"dispatch_shards"`
 				LoopCount   int64              `json:"loop_count"`
 				LastTick    time.Time          `json:"last_tick"`
 				Delta       int64              `json:"delta"` // live δ; -1 when the algorithm has none
@@ -168,6 +178,7 @@ func main() {
 				Addr:        tr.Addr(),
 				Algorithm:   strings.ToLower(*algName),
 				N:           len(addrs),
+				Shards:      obj.Runtime().DispatchShards(),
 				LoopCount:   obj.Runtime().LoopCount(),
 				LastTick:    obj.Runtime().LastTick(),
 				Delta:       deltaValue(),

@@ -209,6 +209,19 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 	}
 }
 
+// Route implements node.Router for sharded dispatch. TRegQueryAck and
+// TRegWriteBackAck are consumed only by quorum-call acceptance predicates
+// (HandleMessage above ignores them), so they take the dedicated ack
+// lane. Everything else shards by the sending node: register k is written
+// only by node k, so per-sender FIFO preserves per-register ordering.
+func (nd *Node) Route(m *wire.Message) (node.Lane, int) {
+	switch m.Type {
+	case wire.TRegQueryAck, wire.TRegWriteBackAck:
+		return node.LaneAck, 0
+	}
+	return node.LaneShard, int(m.From)
+}
+
 // Corrupt models a transient fault (self-stabilizing variant only in
 // terms of recovery; callable on any node).
 func (nd *Node) Corrupt(rng *rand.Rand) {

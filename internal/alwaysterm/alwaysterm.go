@@ -343,6 +343,20 @@ func (nd *Node) HandleMessage(m *wire.Message) {
 	}
 }
 
+// Route implements node.Router for sharded dispatch. TWriteAck and
+// TSnapshotAck go only to the quorum-call collector, so they take the ack
+// lane. TRBCast/TRBAck stay on shard lanes — the reliable-broadcast layer
+// handles them in HandleMessage (it tolerates reordering and duplication,
+// so any stable keying is legal; per-sender keeps each peer's echo stream
+// ordered). Everything else shards by sender (per-register FIFO).
+func (nd *Node) Route(m *wire.Message) (node.Lane, int) {
+	switch m.Type {
+	case wire.TWriteAck, wire.TSnapshotAck:
+		return node.LaneAck, 0
+	}
+	return node.LaneShard, int(m.From)
+}
+
 // State is a copy of the node's principal variables.
 type State struct {
 	TS, SSN, SNS int64

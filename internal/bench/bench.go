@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"E10", "Crash tolerance and linearizability under adversary", RunE10},
 		{"hotpath", "Hot-path allocation profile: write/snapshot ns, B and allocs per op", RunHotpath},
 		{"deltagossip", "Delta gossip: idle bandwidth of full-vector vs ack-tracked gossip", RunDeltaGossip},
+		{"dispatch", "Sharded dispatch: mixed-workload throughput and tail latency", RunDispatch},
 	}
 }
 

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDispatchSpeedupFloor is the cheap always-on acceptance check for the
+// sharded-dispatch tentpole: at 4 shards the mixed workload must move at
+// least 3× the messages per virtual second of the classic single
+// dispatcher, and the p99.9 sojourn time must drop. Virtual-clock
+// determinism makes both assertions stable, not load-dependent.
+func TestDispatchSpeedupFloor(t *testing.T) {
+	base := runDispatch(dispatchSenders, 100, 1)
+	sharded := runDispatch(dispatchSenders, 100, 4)
+	if base.msgPerS <= 0 || sharded.msgPerS/base.msgPerS < 3 {
+		t.Fatalf("speedup = %.2fx (%.0f vs %.0f msg/s), want ≥ 3x",
+			sharded.msgPerS/base.msgPerS, sharded.msgPerS, base.msgPerS)
+	}
+	if sharded.p999 >= base.p999 {
+		t.Errorf("p99.9 did not improve: %v (shards=4) vs %v (shards=1)", sharded.p999, base.p999)
+	}
+}
+
+// TestDispatchRegressionGuard replays the full dispatch grid and compares
+// every throughput and p99.9 cell against the committed baseline
+// (BENCH_dispatch.json at the repo root), failing on >10% regression —
+// lower msg/s or higher p99.9. Gated behind DISPATCH_GUARD=1, like the
+// deltagossip guard; improvements pass, and the baseline is then
+// regenerated with `go run ./cmd/benchrunner -exp dispatch -json` to
+// ratchet the bar.
+func TestDispatchRegressionGuard(t *testing.T) {
+	if os.Getenv("DISPATCH_GUARD") == "" {
+		t.Skip("set DISPATCH_GUARD=1 to compare against the committed baseline")
+	}
+	raw, err := os.ReadFile("../../BENCH_dispatch.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if base.Quick || len(base.Tables) != 1 {
+		t.Fatalf("baseline must be a full (non-quick) single-table run, got quick=%v tables=%d",
+			base.Quick, len(base.Tables))
+	}
+
+	fresh := RunDispatch(Params{})[0]
+	baseT := base.Tables[0]
+	if len(fresh.Rows) != len(baseT.Rows) {
+		t.Fatalf("grid changed: %d rows vs %d in baseline — regenerate the baseline", len(fresh.Rows), len(baseT.Rows))
+	}
+
+	cell := func(row []string, col int) float64 {
+		s := strings.TrimSuffix(strings.TrimSuffix(row[col], "x"), "ms")
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparseable cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	for i, got := range fresh.Rows {
+		want := baseT.Rows[i]
+		if got[0] != want[0] || got[2] != want[2] {
+			t.Fatalf("row %d grid mismatch: (shards=%s, msgs=%s) vs baseline (shards=%s, msgs=%s)",
+				i, got[0], got[2], want[0], want[2])
+		}
+		// Column 4 is msg/s (higher is better), column 5 is p99.9 in ms
+		// (lower is better); both are guarded so a throughput loss and a
+		// tail-latency blowup are each caught on their own.
+		if g, w := cell(got, 4), cell(want, 4); g < w*0.90 {
+			t.Errorf("shards=%s: throughput regressed to %.1f msg/s, baseline %.1f (-%.1f%%)",
+				got[0], g, w, 100*(1-g/w))
+		}
+		if g, w := cell(got, 5), cell(want, 5); g > w*1.10 {
+			t.Errorf("shards=%s: p99.9 regressed to %.2fms, baseline %.2fms (+%.1f%%)",
+				got[0], g, w, 100*(g/w-1))
+		}
+	}
+}

@@ -95,6 +95,13 @@ type Config struct {
 	// Hash computes Result.TraceHash and Result.HistoryHash. Only
 	// meaningful under Virtual, where event order is deterministic.
 	Hash bool
+
+	// DispatchShards is the per-node dispatch parallelism (default 1,
+	// the classic single dispatcher; see node.Options). Under Virtual
+	// the shard workers are ordinary scheduler tasks, so runs stay
+	// deterministic per (seed, shards) configuration — shards=1 and
+	// shards=4 replay identically to themselves, not to each other.
+	DispatchShards int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -189,11 +196,12 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	}
 	cluster, err := core.NewCluster(core.Config{
 		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
-		Adversary:    cfg.Adversary,
-		LoopInterval: time.Millisecond,
-		RetxInterval: 3 * time.Millisecond,
-		Trace:        hook,
-		Clock:        clk,
+		Adversary:      cfg.Adversary,
+		LoopInterval:   time.Millisecond,
+		RetxInterval:   3 * time.Millisecond,
+		DispatchShards: cfg.DispatchShards,
+		Trace:          hook,
+		Clock:          clk,
 	})
 	if err != nil {
 		return res, err

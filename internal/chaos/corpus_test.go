@@ -4,11 +4,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 
 	"selfstabsnap/internal/core"
 )
+
+// chaosShards reads the CHAOS_SHARDS override — the CI determinism matrix
+// runs the suite once without it (shards=1) and once with CHAOS_SHARDS=4,
+// so every determinism and corpus test executes under sharded dispatch
+// too. 0 means "no override".
+func chaosShards() int {
+	if s := os.Getenv("CHAOS_SHARDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
 
 // corpusEntry is one stored regression seed. The corpus collects runs that
 // were interesting at some point — crash-heavy, partition-heavy,
@@ -26,6 +40,7 @@ type corpusEntry struct {
 	AckCorrupt float64 `json:"ack_corrupt"`
 	Corrupt    bool    `json:"corrupt"`
 	Hostile    bool    `json:"hostile"`
+	Shards     int     `json:"shards,omitempty"` // dispatch shards (0 = classic single dispatcher)
 	DurationMS int64   `json:"duration_ms"`
 }
 
@@ -51,7 +66,11 @@ func (e corpusEntry) config() (Config, error) {
 		PartitionRate:  e.Partition,
 		AckCorruptRate: e.AckCorrupt,
 		Corrupt:        e.Corrupt,
+		DispatchShards: e.Shards,
 		Virtual:        true,
+	}
+	if s := chaosShards(); s > 0 {
+		cfg.DispatchShards = s
 	}
 	if e.Hostile {
 		cfg.Adversary = hostileNet()

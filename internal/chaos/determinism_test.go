@@ -10,16 +10,19 @@ import (
 )
 
 // detConfig is the config the determinism tests replay: every fault class
-// on, hostile network, hashing enabled.
+// on, hostile network, hashing enabled. CHAOS_SHARDS (the CI shards
+// matrix leg) switches the whole suite to sharded dispatch.
 func detConfig(seed int64) Config {
 	return Config{
 		N: 5, Algorithm: core.DeltaSS, Delta: 2, Seed: seed,
-		Adversary:     hostileNet(),
-		Duration:      300 * time.Millisecond,
-		CrashRate:     15,
-		PartitionRate: 10,
-		Virtual:       true,
-		Hash:          true,
+		Adversary:      hostileNet(),
+		Duration:       300 * time.Millisecond,
+		CrashRate:      15,
+		PartitionRate:  10,
+		AckCorruptRate: 20,
+		Virtual:        true,
+		Hash:           true,
+		DispatchShards: chaosShards(),
 	}
 }
 
@@ -76,6 +79,42 @@ func TestVirtualRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 	if hashes[0] != hashes[1] {
 		t.Errorf("execution depends on GOMAXPROCS: %#x vs %#x", hashes[0], hashes[1])
+	}
+}
+
+// TestVirtualRunDeterministicSharded is the acceptance check for sharded
+// dispatch inside the deterministic simulation: at both shards=1 and
+// shards=4, the same seed must produce identical TraceHash/HistoryHash
+// across repeated runs and across GOMAXPROCS — shard workers are ordinary
+// lock-step scheduler tasks, so OS parallelism must not leak in. (The two
+// shard counts legitimately hash differently from each other: a different
+// worker topology is a different — equally legal — serialization.)
+func TestVirtualRunDeterministicSharded(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, shards := range []int{1, 4} {
+		var hashes [][2]uint64
+		for _, procs := range []int{1, 4} {
+			runtime.GOMAXPROCS(procs)
+			for rep := 0; rep < 2; rep++ {
+				cfg := detConfig(67)
+				cfg.DispatchShards = shards
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Violation != nil {
+					t.Fatalf("shards=%d: %v", shards, res.Violation)
+				}
+				hashes = append(hashes, [2]uint64{res.TraceHash, res.HistoryHash})
+			}
+		}
+		for _, h := range hashes[1:] {
+			if h != hashes[0] {
+				t.Errorf("shards=%d: hashes diverge across runs/GOMAXPROCS: %#x vs %#x", shards, hashes[0], h)
+			}
+		}
 	}
 }
 

@@ -122,6 +122,9 @@ type Config struct {
 	// LoopInterval and RetxInterval tune the node runtimes.
 	LoopInterval time.Duration
 	RetxInterval time.Duration
+	// DispatchShards is the number of parallel dispatch workers per node
+	// (default 1 = the classic single dispatcher; see node.Options).
+	DispatchShards int
 	// InboxCap bounds each node's channel capacity (default 4096).
 	InboxCap int
 	// MaxInt is BoundedSS's overflow threshold (default bounded.DefaultMaxInt).
@@ -213,7 +216,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg: cfg, clk: clk, net: net, rng: rand.New(rand.NewSource(cfg.Seed + 1)),
 		stopEv: clk.NewEvent(), wg: clk.NewGroup(),
 	}
-	ropts := node.Options{LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval, Clock: clk}
+	ropts := node.Options{
+		LoopInterval: cfg.LoopInterval, RetxInterval: cfg.RetxInterval,
+		DispatchShards: cfg.DispatchShards, Clock: clk,
+	}
 	var deltaSetters []func(int64)
 
 	for i := 0; i < cfg.N; i++ {

@@ -117,6 +117,33 @@ func (q *Queue[T]) Pop() (T, bool) {
 	}
 }
 
+// TryPop dequeues the oldest element without blocking. ok is false when
+// the queue is currently empty (regardless of closed state). Consumers use
+// it to coalesce a burst — one blocking Pop, then TryPop until dry — so a
+// drain cycle pays one wakeup for many elements (the vectored-write and
+// ack-batching hot paths).
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	if q.count == 0 {
+		var zero T
+		q.mu.Unlock()
+		return zero, false
+	}
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	more := q.count > 0
+	closed := q.closed
+	q.mu.Unlock()
+	if more || closed {
+		// Same wake-one re-arm as Pop: keep other consumers live.
+		q.avail.Set()
+	}
+	return v, true
+}
+
 // Drain discards all queued elements (used when a node crashes with a
 // detectable restart: its channel content is lost).
 func (q *Queue[T]) Drain() {

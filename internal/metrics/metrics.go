@@ -331,6 +331,7 @@ func (l *LatencyRecorder) Stats() LatencyStats {
 	st.P50 = s.Quantile(50)
 	st.P90 = s.Quantile(90)
 	st.P99 = s.Quantile(99)
+	st.P999 = s.QuantilePermille(999)
 	return st
 }
 
@@ -344,9 +345,12 @@ type LatencyStats struct {
 	Mean, Min, Max, P50 time.Duration
 	P90                 time.Duration
 	P99                 time.Duration
+	// P999 is the p99.9 tail (rank ⌊n·999/1000⌋); for n ≤ 1000 it equals
+	// Max exactly, by the same indexing convention as P99 at n ≤ 100.
+	P999 time.Duration
 }
 
 // String renders the stats on one line.
 func (s LatencyStats) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v", s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
 }

@@ -36,6 +36,16 @@ func TestSendManyEquivalenceConformance(t *testing.T) {
 	transporttest.SendManyEquivalence(t, n, self, 0, []int{0, 1, 2, 3, 4})
 }
 
+// TestPerPeerFIFOConformance pins per-peer delivery ordering on the
+// simulator — the discipline the sharded runtime's per-sender shard keys
+// rely on.
+func TestPerPeerFIFOConformance(t *testing.T) {
+	n := netsim.New(netsim.Config{N: 4, Seed: 1, InboxCap: 4096})
+	defer n.Close()
+	self := func(int) netsim.Transport { return n }
+	transporttest.PerPeerFIFO(t, n, self, 0, []int{1, 2, 3}, 500)
+}
+
 // TestConcurrentFanoutConformance exercises the copy-on-write sharing of
 // broadcast fan-out under the race detector: all recipients read their
 // deliveries while the sender keeps broadcasting and mutating its message.

@@ -18,6 +18,13 @@
 // goroutines. Algorithms guard their state with their own mutex; the runtime
 // never holds it. Ack acceptance predicates run on the dispatcher goroutine
 // and must only touch data captured immutably at call time.
+//
+// With Options.DispatchShards > 1 the single dispatcher is replaced by a
+// router plus a pool of shard workers and a dedicated quorum-ack lane (see
+// shard.go): HandleMessage then runs concurrently for messages on different
+// shards, but stays FIFO per shard key — which the algorithms choose so each
+// register's updates stay ordered (§2 only requires that steps admit a
+// serialization, which the history checker verifies).
 package node
 
 import (
@@ -27,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selfstabsnap/internal/mailbox"
 	"selfstabsnap/internal/metrics"
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/obs"
@@ -65,7 +73,23 @@ type Options struct {
 	// algorithm reports via RecordEvent (corruption detections, resets,
 	// detectable restarts) for the /statusz observability endpoint.
 	Journal *obs.Journal
+	// DispatchShards is the number of parallel dispatch workers. The
+	// default (and any value ≤ 1) keeps the classic single-dispatcher
+	// path: one goroutine, globally FIFO. Values > 1 enable sharded
+	// dispatch: a router fans arriving messages out to DispatchShards
+	// workers by the algorithm's shard key (per-key FIFO preserved) plus
+	// a dedicated quorum-ack lane. Capped at MaxDispatchShards.
+	DispatchShards int
+	// ShardQueueCap bounds each shard lane's queue under sharded
+	// dispatch (default 4096). Overflow drops the oldest queued message
+	// — the same bounded-channel semantics as the transport inbox — and
+	// is metered as an eviction.
+	ShardQueueCap int
 }
+
+// MaxDispatchShards bounds Options.DispatchShards; beyond this the router
+// itself becomes the bottleneck.
+const MaxDispatchShards = 64
 
 func (o Options) withDefaults() Options {
 	if o.LoopInterval <= 0 {
@@ -73,6 +97,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetxInterval <= 0 {
 		o.RetxInterval = 5 * time.Millisecond
+	}
+	if o.DispatchShards < 1 {
+		o.DispatchShards = 1
+	}
+	if o.DispatchShards > MaxDispatchShards {
+		o.DispatchShards = MaxDispatchShards
+	}
+	if o.ShardQueueCap <= 0 {
+		o.ShardQueueCap = 4096
 	}
 	o.Clock = simclock.Or(o.Clock)
 	return o
@@ -88,8 +121,12 @@ type Runtime struct {
 	alg Algorithm
 	clk simclock.Clock
 
+	// crashed is read on every dispatched message and every send, so it
+	// is an atomic rather than a field under mu; mu still serialises the
+	// lifecycle transitions (Crash/Resume/Close) that write it.
+	crashed atomic.Bool
+
 	mu        sync.Mutex
-	crashed   bool
 	closed    bool
 	crashGen  uint64         // incremented on every crash, for call abortion
 	crashEv   simclock.Event // fired on crash; replaced on resume
@@ -114,6 +151,12 @@ type Runtime struct {
 	many   netsim.ManySender
 	allTo  []int // 0..n-1: broadcast includes the sender
 	peerTo []int // 0..n-1 minus self: gossip excludes the sender
+
+	// Sharded dispatch state (nil/empty when DispatchShards == 1; see
+	// shard.go). router is the algorithm's optional Router, resolved once.
+	router Router
+	shardQ []*mailbox.Queue[*wire.Message]
+	ackQ   *mailbox.Queue[*wire.Message]
 }
 
 // NewRuntime creates a runtime for node id over tr running alg. Start must
@@ -133,6 +176,14 @@ func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runti
 	}
 	r.collector.calls = make(map[uint64]*call)
 	r.many, _ = tr.(netsim.ManySender)
+	if opts.DispatchShards > 1 {
+		r.router, _ = alg.(Router)
+		r.shardQ = make([]*mailbox.Queue[*wire.Message], opts.DispatchShards)
+		for i := range r.shardQ {
+			r.shardQ[i] = mailbox.NewClocked[*wire.Message](opts.Clock, opts.ShardQueueCap)
+		}
+		r.ackQ = mailbox.NewClocked[*wire.Message](opts.Clock, opts.ShardQueueCap)
+	}
 	r.allTo = make([]int, r.n)
 	r.peerTo = make([]int, 0, r.n-1)
 	for k := 0; k < r.n; k++ {
@@ -179,10 +230,23 @@ func (r *Runtime) RecordEvent(kind, detail string) {
 	r.opts.Journal.Record(r.clk.Now(), r.id, kind, detail)
 }
 
-// Start launches the dispatcher and do-forever goroutines.
+// Start launches the dispatcher and do-forever goroutines. With
+// DispatchShards > 1 the dispatcher is a router plus a worker per shard and
+// a dedicated quorum-ack lane (see shard.go).
 func (r *Runtime) Start() {
-	r.wg.Add(2)
-	r.clk.Go(fmt.Sprintf("node%d-dispatch", r.id), r.dispatch)
+	if r.opts.DispatchShards <= 1 {
+		r.wg.Add(2)
+		r.clk.Go(fmt.Sprintf("node%d-dispatch", r.id), r.dispatch)
+		r.clk.Go(fmt.Sprintf("node%d-loop", r.id), r.loop)
+		return
+	}
+	r.wg.Add(3 + len(r.shardQ))
+	r.clk.Go(fmt.Sprintf("node%d-route", r.id), r.routeLoop)
+	for i := range r.shardQ {
+		q := r.shardQ[i]
+		r.clk.Go(fmt.Sprintf("node%d-shard%d", r.id, i), func() { r.shardLoop(q) })
+	}
+	r.clk.Go(fmt.Sprintf("node%d-acks", r.id), r.ackLoop)
 	r.clk.Go(fmt.Sprintf("node%d-loop", r.id), r.loop)
 }
 
@@ -196,12 +260,12 @@ func (r *Runtime) Close() {
 	}
 	r.closed = true
 	r.closeEv.Fire()
-	if !r.crashed {
-		r.crashed = true
+	if !r.crashed.Load() {
+		r.crashed.Store(true)
 		r.crashEv.Fire()
 	}
 	r.mu.Unlock()
-	r.tr.CloseEndpoint(r.id) // unblock the dispatcher's Recv
+	r.tr.CloseEndpoint(r.id) // unblock the dispatcher's (or router's) Recv
 	r.wg.Wait()
 }
 
@@ -243,22 +307,19 @@ func (r *Runtime) loop() {
 	}
 }
 
-// Crashed reports whether the node is currently failed.
-func (r *Runtime) Crashed() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.crashed
-}
+// Crashed reports whether the node is currently failed. Lock-free: it is
+// on the per-message dispatch path and the per-send path.
+func (r *Runtime) Crashed() bool { return r.crashed.Load() }
 
 // Crash fails the node: it stops taking steps and every in-flight quorum
 // call aborts with ErrCrashed. Messages arriving while crashed are lost.
 func (r *Runtime) Crash() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.crashed || r.closed {
+	if r.crashed.Load() || r.closed {
 		return
 	}
-	r.crashed = true
+	r.crashed.Store(true)
 	r.crashGen++
 	r.crashEv.Fire()
 }
@@ -268,11 +329,11 @@ func (r *Runtime) Crash() {
 func (r *Runtime) Resume() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.crashed || r.closed {
+	if !r.crashed.Load() || r.closed {
 		return
 	}
-	r.crashed = false
 	r.crashEv = r.clk.NewEvent()
+	r.crashed.Store(false)
 }
 
 // InboxDrainer is implemented by transports whose per-node channel content
@@ -304,7 +365,7 @@ func (r *Runtime) crashSignal() (simclock.Event, uint64, error) {
 	if r.closed {
 		return nil, 0, ErrClosed
 	}
-	if r.crashed {
+	if r.crashed.Load() {
 		return nil, 0, ErrCrashed
 	}
 	return r.crashEv, r.crashGen, nil

@@ -1,0 +1,191 @@
+package node
+
+import (
+	"selfstabsnap/internal/mailbox"
+	"selfstabsnap/internal/wire"
+)
+
+// Sharded dispatch (Options.DispatchShards > 1).
+//
+// The classic runtime delivers every arriving message through one
+// dispatcher goroutine, which serialises HandleMessage globally per node.
+// The paper's §2 model is weaker than that: a node's steps only have to
+// *admit a serialization* (the history checker verifies one exists), and
+// the network itself may reorder, lose and duplicate messages. The only
+// ordering the algorithms actually rely on between two arriving messages
+// is per writer — register k is written only by node k, so handling the
+// streams of two different senders concurrently is indistinguishable from
+// a (legal) network reordering, while reordering one sender's stream
+// against itself could, e.g., regress a register to an older timestamp
+// between repairs. Sharded dispatch therefore fans messages out to a
+// worker pool keyed by a stable shard key (default: the sender), with
+// strict FIFO inside each shard.
+//
+// Quorum acks get a dedicated lane: they are consumed only by the call
+// collector (the algorithms' HandleMessage ignores them — see Router), so
+// a slow HandleMessage on a shard never delays ack matching, and a burst
+// of acks arriving back-to-back is matched with a single pass over the
+// active-call list (offerBatch).
+//
+// Topology with S shards:
+//
+//	transport Recv ─ router ─┬─ shard 0 queue ─ worker: HandleMessage + offer
+//	                         ├─ …
+//	                         ├─ shard S-1 queue ─ worker
+//	                         └─ ack queue ─ ack worker: offerBatch
+//
+// Every queue is a bounded drop-oldest mailbox.Queue parked through the
+// runtime's clock, so under a virtual clock the workers are deterministic
+// scheduler tasks and the simclock determinism suite holds for any fixed
+// shard count (hashes are per (seed, shards) configuration: shards=1 and
+// shards=4 each replay identically, but not to each other).
+
+// Lane selects which dispatch lane an arriving message takes under
+// sharded dispatch.
+type Lane int8
+
+const (
+	// LaneShard delivers the message to the shard worker selected by the
+	// route key: the algorithm's HandleMessage runs there, followed by
+	// quorum-call matching.
+	LaneShard Lane = iota
+	// LaneAck delivers the message to the dedicated quorum-ack lane:
+	// only (batched) call matching runs. An algorithm may return it only
+	// for message types its HandleMessage ignores entirely.
+	LaneAck
+)
+
+// Router is optionally implemented by an Algorithm to annotate arriving
+// messages for sharded dispatch. Route returns the lane and, for
+// LaneShard, a stable shard key: two messages whose handling must stay
+// mutually ordered (in this repository: two messages from the same
+// writer, hence about the same register) must map to the same key. The
+// key is reduced modulo the shard count; its absolute value carries no
+// meaning. Route runs on the router goroutine and must not take the
+// algorithm's state lock.
+//
+// Algorithms that do not implement Router dispatch everything on
+// LaneShard keyed by the sending node — always safe, since it preserves
+// per-sender FIFO and the ack lane is merely an optimisation.
+type Router interface {
+	Route(m *wire.Message) (Lane, int)
+}
+
+// ackBatchMax bounds how many queued acks one drain cycle coalesces into
+// a single active-list pass.
+const ackBatchMax = 64
+
+// routeLoop is the sharded replacement for dispatch's Recv loop: it owns
+// the transport endpoint and only classifies, never handles. Queue
+// overflow here models the same bounded-channel loss as the transport
+// inbox and is metered as an eviction.
+func (r *Runtime) routeLoop() {
+	defer r.wg.Done()
+	// Closing the lanes lets the workers drain what was already routed
+	// and then exit; wg waits for them.
+	defer func() {
+		for _, q := range r.shardQ {
+			q.Close()
+		}
+		r.ackQ.Close()
+	}()
+	nshards := len(r.shardQ)
+	ctr := r.tr.Counters()
+	for {
+		m, ok := r.tr.Recv(r.id)
+		if !ok {
+			return
+		}
+		if r.closeEv.Fired() {
+			return
+		}
+		if r.crashed.Load() {
+			continue // a crashed node takes no steps; arriving messages are lost
+		}
+		lane, key := LaneShard, int(m.From)
+		if r.router != nil {
+			lane, key = r.router.Route(m)
+		}
+		if lane == LaneAck {
+			if r.ackQ.Push(m) {
+				ctr.RecordEviction()
+			}
+			continue
+		}
+		idx := key % nshards
+		if idx < 0 {
+			idx += nshards
+		}
+		if r.shardQ[idx].Push(m) {
+			ctr.RecordEviction()
+		}
+	}
+}
+
+// shardLoop handles one shard's stream: strict FIFO, same per-message
+// discipline as the classic dispatcher.
+func (r *Runtime) shardLoop(q *mailbox.Queue[*wire.Message]) {
+	defer r.wg.Done()
+	for {
+		m, ok := q.Pop()
+		if !ok {
+			return
+		}
+		if r.closeEv.Fired() {
+			return
+		}
+		if r.crashed.Load() {
+			continue
+		}
+		r.alg.HandleMessage(m)
+		r.offer(m)
+	}
+}
+
+// ackLoop drains the quorum-ack lane in bursts: one blocking Pop, then
+// non-blocking TryPops up to ackBatchMax, then a single offerBatch — so a
+// retransmission round's worth of acks costs one active-list scan and one
+// per-call lock acquisition instead of one each per ack.
+func (r *Runtime) ackLoop() {
+	defer r.wg.Done()
+	batch := make([]*wire.Message, 0, ackBatchMax)
+	for {
+		m, ok := r.ackQ.Pop()
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], m)
+		for len(batch) < ackBatchMax {
+			m2, ok2 := r.ackQ.TryPop()
+			if !ok2 {
+				break
+			}
+			batch = append(batch, m2)
+		}
+		if r.closeEv.Fired() {
+			return
+		}
+		if r.crashed.Load() {
+			continue
+		}
+		r.offerBatch(batch)
+	}
+}
+
+// DispatchShards returns the effective number of dispatch shards (1 when
+// sharding is disabled).
+func (r *Runtime) DispatchShards() int { return r.opts.DispatchShards }
+
+// DispatchDepths reports the current queue depth of each shard lane and
+// of the ack lane — the observability series behind the per-shard
+// queue-depth gauges. Both are zero-valued when sharding is disabled.
+func (r *Runtime) DispatchDepths() (shards []int, ack int) {
+	if len(r.shardQ) == 0 {
+		return nil, 0
+	}
+	shards = make([]int, len(r.shardQ))
+	for i, q := range r.shardQ {
+		shards[i] = q.Len()
+	}
+	return shards, r.ackQ.Len()
+}

@@ -209,6 +209,9 @@ func TestSnapshotMessageCost(t *testing.T) {
 	if _, err := nodes[3].Snapshot(); err != nil {
 		t.Fatal(err)
 	}
+	// Snapshot returns at quorum (⌈(n+1)/2⌉ acks); wait out the warm-up
+	// round's straggler acks so they are not metered into the window.
+	time.Sleep(20 * time.Millisecond)
 	before := net.Counters().Snapshot()
 	if _, err := nodes[3].Snapshot(); err != nil {
 		t.Fatal(err)

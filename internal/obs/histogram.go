@@ -227,6 +227,17 @@ func (s HistogramSnapshot) Quantile(q int64) time.Duration {
 	return s.ValueAtRank(s.Count * q / 100)
 }
 
+// QuantilePermille returns the value at rank ⌊Count·q/1000⌋ for q in
+// [0, 1000] — the permille analogue of Quantile, for tail quantiles like
+// p99.9 (q = 999). The same small-n caveat applies one decade later: for
+// n ≤ 1000 the p99.9 rank is n-1, so it equals Max exactly.
+func (s HistogramSnapshot) QuantilePermille(q int64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.ValueAtRank(s.Count * q / 1000)
+}
+
 // WritePrometheus renders the histogram in Prometheus text exposition
 // format under the given metric name: cumulative <name>_bucket series
 // with `le` labels in seconds, plus <name>_sum and <name>_count.

@@ -53,6 +53,33 @@ func TestSendManyEquivalenceConformance(t *testing.T) {
 	transporttest.SendManyEquivalence(t, m.Transports[0], endpoint, 0, []int{0, 1, 2, 3, 4})
 }
 
+// TestPerPeerFIFOConformance pins per-peer frame ordering through the
+// vectored/batched write path: bursts that coalesce into one writev (and
+// SendMany frames shared across outboxes) must still arrive exactly once,
+// in send order, per peer.
+func TestPerPeerFIFOConformance(t *testing.T) {
+	m, err := NewMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	endpoint := func(k int) netsim.Transport { return m.Transports[k] }
+	transporttest.PerPeerFIFO(t, m.Transports[0], endpoint, 0, []int{1, 2, 3}, 500)
+}
+
+// TestPerPeerFIFOConformanceUnbatched re-runs the FIFO suite with
+// WriteBatch=1 (the frame-at-a-time writer), pinning that batching is a
+// pure coalescing optimisation with no ordering effect.
+func TestPerPeerFIFOConformanceUnbatched(t *testing.T) {
+	m, err := NewMeshWithOptions(4, Options{WriteBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	endpoint := func(k int) netsim.Transport { return m.Transports[k] }
+	transporttest.PerPeerFIFO(t, m.Transports[0], endpoint, 0, []int{1, 2, 3}, 500)
+}
+
 // TestConcurrentFanoutConformance exercises frame sharing across per-peer
 // outboxes under the race detector: all recipients read their deliveries
 // while the sender keeps broadcasting and mutating its message.

@@ -64,6 +64,12 @@ type Options struct {
 	// (default 2s), with uniform jitter of up to half the backoff added.
 	RedialBackoffMin time.Duration
 	RedialBackoffMax time.Duration
+	// WriteBatch bounds how many queued frames one writer drain cycle
+	// coalesces into a single vectored write (net.Buffers / writev;
+	// default 64). A burst of sends to one peer then costs one syscall
+	// and one deadline update instead of one each per frame. 1 restores
+	// the frame-at-a-time writer.
+	WriteBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +93,9 @@ func (o Options) withDefaults() Options {
 		if o.RedialBackoffMax < o.RedialBackoffMin {
 			o.RedialBackoffMax = o.RedialBackoffMin
 		}
+	}
+	if o.WriteBatch <= 0 {
+		o.WriteBatch = 64
 	}
 	return o
 }
@@ -332,45 +341,66 @@ func (t *Transport) enqueueFrame(to int, frame []byte) {
 	}
 }
 
-// writeLoop is peer to's writer goroutine: it drains the outbox and writes
-// each frame to the connection, dialing as needed. All blocking I/O of the
-// send path happens here, off the caller's critical path.
+// writeLoop is peer to's writer goroutine: it drains the outbox in bursts
+// — one blocking Pop, then non-blocking TryPops up to WriteBatch — and
+// hands each burst to a single vectored write. All blocking I/O of the
+// send path happens here, off the caller's critical path. The batch
+// scratch is private to this goroutine: net.Buffers consumes its slice
+// headers during the write, never the (possibly SendMany-shared,
+// immutable) frame bytes.
 func (t *Transport) writeLoop(p *peer, to int) {
 	defer t.wg.Done()
+	batch := make([][]byte, 0, t.opts.WriteBatch)
 	for {
 		frame, ok := p.outbox.Pop()
 		if !ok {
 			return
 		}
-		t.writeFrame(p, to, frame)
+		batch = append(batch[:0], frame)
+		for len(batch) < t.opts.WriteBatch {
+			next, ok := p.outbox.TryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, next)
+		}
+		t.writeFrames(p, to, batch)
 	}
 }
 
-// writeFrame writes one frame, dialing if necessary. A frame that cannot
-// be written promptly (peer in dial backoff, dead connection, write
-// timeout) is dropped and metered — the writer moves on to newer frames
-// rather than retrying, leaving recovery to the algorithms' repeated
-// broadcasts, exactly as over the simulated lossy network.
-func (t *Transport) writeFrame(p *peer, to int, frame []byte) {
+// writeFrames writes a burst of frames with one writev, dialing if
+// necessary. Frames that cannot be written promptly (peer in dial
+// backoff, dead connection, write timeout) are dropped and metered — the
+// writer moves on to newer frames rather than retrying, leaving recovery
+// to the algorithms' repeated broadcasts, exactly as over the simulated
+// lossy network. On a mid-batch write error only the undelivered
+// remainder counts as dropped: net.Buffers consumes fully-written frames,
+// so what is left in bufs is exactly what the peer will not receive.
+func (t *Transport) writeFrames(p *peer, to int, frames [][]byte) {
 	p.mu.Lock()
 	conn := p.conn
 	if conn == nil {
 		var ok bool
 		if conn, ok = t.dialLocked(p, to); !ok {
 			p.mu.Unlock()
-			t.counters.RecordDrop()
+			for range frames {
+				t.counters.RecordDrop()
+			}
 			return
 		}
 	}
+	bufs := net.Buffers(frames)
 	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
-	if _, err := conn.Write(frame); err != nil {
+	if _, err := bufs.WriteTo(conn); err != nil {
 		if p.conn == conn {
 			p.conn = nil
 		}
 		p.mu.Unlock()
 		conn.Close()
 		t.counters.RecordWriteFailure()
-		t.counters.RecordDrop()
+		for range bufs {
+			t.counters.RecordDrop()
+		}
 		return
 	}
 	p.mu.Unlock()

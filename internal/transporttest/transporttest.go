@@ -268,6 +268,60 @@ func ConcurrentFanout(t *testing.T, sender netsim.Transport, endpoint func(id in
 	SweepFrozen(t)
 }
 
+// PerPeerFIFO pins the per-peer frame ordering the sharded runtime's
+// atomic-step discipline depends on: `count` sequence-numbered messages
+// from one sender must arrive at every recipient exactly once, in send
+// order, with no losses on a healthy link — even when the send side
+// alternates between Send and the SendMany shared-frame fan-out and the
+// transport coalesces the burst into vectored/batched writes. Recipients
+// drain concurrently (run under -race: the vectored writer must not
+// mutate SendMany-shared frame bytes). endpoint(k) must return the
+// transport whose Recv observes node k.
+func PerPeerFIFO(t *testing.T, sender netsim.Transport, endpoint func(id int) netsim.Transport, from int, to []int, count int) {
+	t.Helper()
+	many, _ := sender.(netsim.ManySender)
+
+	var wg sync.WaitGroup
+	for _, k := range to {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ep := endpoint(k)
+			for i := 0; i < count; i++ {
+				m, ok := ep.Recv(k)
+				if !ok {
+					t.Errorf("conformance: node %d's endpoint closed after %d/%d deliveries", k, i, count)
+					return
+				}
+				if m.SNS != int64(i) {
+					t.Errorf("conformance: node %d delivery %d carries SNS %d — per-peer FIFO violated (or a frame was lost on a healthy link)", k, i, m.SNS)
+					return
+				}
+			}
+		}(k)
+	}
+
+	for i := 0; i < count; i++ {
+		m := &wire.Message{Type: wire.TGossip, SNS: int64(i)}
+		if many != nil && i%2 == 1 {
+			many.SendMany(from, to, m)
+		} else {
+			for _, k := range to {
+				sender.Send(from, k, m)
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("conformance: per-peer FIFO streams did not all arrive (frame lost or reordered)")
+	}
+	SweepFrozen(t)
+}
+
 // SweepFrozen re-verifies every payload the mutcheck registry is tracking
 // and fails the test on any in-place mutation. A no-op without the
 // `mutcheck` build tag (MutcheckSweep then reports nothing); under the tag
