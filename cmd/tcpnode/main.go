@@ -9,9 +9,11 @@
 //	        -write hello -interval 1s -snapshot-every 3s
 //
 // Each node optionally writes a fresh value every -interval and prints a
-// snapshot every -snapshot-every. With -obs the node serves /metrics
-// (Prometheus), /statusz (JSON) and /debug/pprof/ on the given address —
-// see docs/OBSERVABILITY.md. Stop with Ctrl-C.
+// snapshot every -snapshot-every; with -objects K the node hosts K
+// independent snapshot objects multiplexed over the one TCP transport and
+// rotates the periodic workload over them. With -obs the node serves
+// /metrics (Prometheus), /statusz (JSON) and /debug/pprof/ on the given
+// address — see docs/OBSERVABILITY.md. Stop with Ctrl-C.
 package main
 
 import (
@@ -49,6 +51,18 @@ func summarize(reg types.RegVector) []regSummary {
 	return out
 }
 
+// obsObjectCap bounds the cardinality of per-object observability series:
+// no matter how many objects a node hosts, at most this many labeled
+// series (and /statusz entries) are exported, plus aggregates. Keeps a
+// 4096-object node from melting a Prometheus scrape.
+const obsObjectCap = 16
+
+// objStatus is one hosted object's slice of the /statusz document.
+type objStatus struct {
+	Obj       int          `json:"obj"`
+	Registers []regSummary `json:"registers"`
+}
+
 func main() {
 	var (
 		id       = flag.Int("id", 0, "this node's id (index into -peers)")
@@ -62,6 +76,7 @@ func main() {
 		snapEach = flag.Duration("snapshot-every", 5*time.Second, "snapshot period (0 = never)")
 		inboxCap = flag.Int("inbox", 0, "bounded inbox capacity, drop-oldest on overflow (0 = default 4096)")
 		shards   = flag.Int("shards", 1, "parallel dispatch shards per node (1 = classic single dispatcher)")
+		objects  = flag.Int("objects", 1, "snapshot objects hosted on this node, multiplexed over one transport and one dispatcher")
 		obsAddr  = flag.String("obs", "", "observability HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	)
 	flag.Parse()
@@ -86,31 +101,52 @@ func main() {
 		DispatchShards: *shards,
 	}
 
+	if *objects < 1 || *objects > node.MaxObjects {
+		fmt.Fprintf(os.Stderr, "-objects must be in [1, %d]\n", node.MaxObjects)
+		os.Exit(2)
+	}
+
 	type snapObj interface {
 		Write(types.Value) error
 		Snapshot() (types.RegVector, error)
+		Start()
 		Close()
 		Runtime() *node.Runtime
 	}
-	var obj snapObj
-	var registers func() []regSummary
-	var deltaNode *deltasnap.Node
-	switch strings.ToLower(*algName) {
-	case "ss-nonblocking":
-		nd := nonblocking.New(*id, tr, nonblocking.Config{SelfStabilizing: true, Runtime: opts})
-		nd.Start()
-		obj = nd
-		registers = func() []regSummary { return summarize(nd.StateSummary().Reg) }
-	case "ss-delta":
-		nd := deltasnap.New(*id, tr, deltasnap.Config{Delta: *delta, Runtime: opts})
-		nd.Start()
-		obj = nd
-		deltaNode = nd
-		registers = func() []regSummary { return summarize(nd.StateSummary().Reg) }
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
-		os.Exit(2)
+
+	// Object 0 builds the host runtime; the rest attach to it, multiplexing
+	// every object over the one transport and dispatcher. Start is deferred
+	// until the whole table is attached (idempotent across instances).
+	objs := make([]snapObj, *objects)
+	registersOf := make([]func() []regSummary, *objects)
+	var deltaNode *deltasnap.Node // object 0's δ node; the tuner targets it
+	for o := 0; o < *objects; o++ {
+		ropts := opts
+		if o > 0 {
+			ropts.Attach = objs[0].Runtime()
+		}
+		switch strings.ToLower(*algName) {
+		case "ss-nonblocking":
+			nd := nonblocking.New(*id, tr, nonblocking.Config{SelfStabilizing: true, Runtime: ropts})
+			objs[o] = nd
+			registersOf[o] = func() []regSummary { return summarize(nd.StateSummary().Reg) }
+		case "ss-delta":
+			nd := deltasnap.New(*id, tr, deltasnap.Config{Delta: *delta, Runtime: ropts})
+			objs[o] = nd
+			if o == 0 {
+				deltaNode = nd
+			}
+			registersOf[o] = func() []regSummary { return summarize(nd.StateSummary().Reg) }
+		default:
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+			os.Exit(2)
+		}
 	}
+	for _, o := range objs {
+		o.Start()
+	}
+	obj := objs[0]
+	registers := registersOf[0]
 	defer obj.Close()
 
 	var writeLat, snapLat metrics.LatencyRecorder
@@ -156,18 +192,46 @@ func main() {
 				}
 				fmt.Fprintf(w, "selfstabsnap_dispatch_queue_depth{lane=\"ack\"} %d\n", ack)
 			}
+			fmt.Fprintf(w, "# TYPE selfstabsnap_objects_hosted gauge\nselfstabsnap_objects_hosted %d\n", len(objs))
+			if len(objs) > 1 {
+				// Per-object progress gauges, bounded cardinality: at most
+				// obsObjectCap labeled series regardless of -objects.
+				fmt.Fprintf(w, "# TYPE selfstabsnap_object_max_ts gauge\n")
+				for o := 0; o < len(objs) && o < obsObjectCap; o++ {
+					var maxTS int64
+					for _, r := range registersOf[o]() {
+						if r.TS > maxTS {
+							maxTS = r.TS
+						}
+					}
+					fmt.Fprintf(w, "selfstabsnap_object_max_ts{obj=\"%d\"} %d\n", o, maxTS)
+				}
+			}
 		})
 		srv.SetStatus(func() any {
+			var perObject []objStatus
+			if len(objs) > 1 {
+				// Bounded like the Prometheus series: the first obsObjectCap
+				// objects in full, the count telling the rest of the story.
+				for o := 0; o < len(objs) && o < obsObjectCap; o++ {
+					perObject = append(perObject, objStatus{Obj: o, Registers: registersOf[o]()})
+				}
+			}
+			shardDepths, ackDepth := obj.Runtime().DispatchDepths()
 			return struct {
 				ID          int                `json:"id"`
 				Addr        string             `json:"addr"`
 				Algorithm   string             `json:"algorithm"`
 				N           int                `json:"n"`
 				Shards      int                `json:"dispatch_shards"`
+				Objects     int                `json:"objects"`
 				LoopCount   int64              `json:"loop_count"`
 				LastTick    time.Time          `json:"last_tick"`
 				Delta       int64              `json:"delta"` // live δ; -1 when the algorithm has none
 				Registers   []regSummary       `json:"registers"`
+				PerObject   []objStatus        `json:"per_object,omitempty"` // capped at obsObjectCap entries
+				ShardDepths []int              `json:"shard_queue_depths,omitempty"`
+				AckDepth    int                `json:"ack_queue_depth"`
 				EventCounts map[string]int64   `json:"event_counts"`
 				Recent      []obs.JournalEvent `json:"recent_events"`
 				WriteLat    string             `json:"write_latency"`
@@ -179,10 +243,14 @@ func main() {
 				Algorithm:   strings.ToLower(*algName),
 				N:           len(addrs),
 				Shards:      obj.Runtime().DispatchShards(),
+				Objects:     len(objs),
 				LoopCount:   obj.Runtime().LoopCount(),
 				LastTick:    obj.Runtime().LastTick(),
 				Delta:       deltaValue(),
 				Registers:   registers(),
+				PerObject:   perObject,
+				ShardDepths: shardDepths,
+				AckDepth:    ackDepth,
 				EventCounts: journal.Counts(),
 				Recent:      journal.Events(),
 				WriteLat:    writeLat.Stats().String(),
@@ -225,7 +293,9 @@ func main() {
 		tuneTick = t.C
 	}
 
-	seq := 0
+	// The periodic workload rotates over the hosted objects, so every
+	// object sees traffic (and its own register advances on /statusz).
+	seq, snapSeq := 0, 0
 	for {
 		select {
 		case <-stop:
@@ -234,30 +304,33 @@ func main() {
 			return
 		case <-writeTick:
 			seq++
+			o := seq % len(objs)
 			v := types.Value(fmt.Sprintf("%s-%d", *write, seq))
 			start := time.Now()
-			if err := obj.Write(v); err != nil {
-				fmt.Printf("write %s: %v\n", v, err)
+			if err := objs[o].Write(v); err != nil {
+				fmt.Printf("write %s obj %d: %v\n", v, o, err)
 				continue
 			}
 			d := time.Since(start)
 			writeLat.Record(d)
-			fmt.Printf("wrote %q in %v\n", v, d.Round(time.Millisecond))
+			fmt.Printf("wrote %q to obj %d in %v\n", v, o, d.Round(time.Millisecond))
 		case <-tuneTick:
 			if d, changed := tuner.Observe(writeLat.Stats(), snapLat.Stats()); changed {
 				deltaNode.SetDelta(d)
 				fmt.Printf("adaptive δ → %d (adjustment #%d)\n", d, tuner.Adjustments())
 			}
 		case <-snapTick:
+			snapSeq++
+			o := snapSeq % len(objs)
 			start := time.Now()
-			snap, err := obj.Snapshot()
+			snap, err := objs[o].Snapshot()
 			if err != nil {
-				fmt.Printf("snapshot: %v\n", err)
+				fmt.Printf("snapshot obj %d: %v\n", o, err)
 				continue
 			}
 			d := time.Since(start)
 			snapLat.Record(d)
-			fmt.Printf("snapshot (%v): %s\n", d.Round(time.Millisecond), snap)
+			fmt.Printf("snapshot obj %d (%v): %s\n", o, d.Round(time.Millisecond), snap)
 		}
 	}
 }

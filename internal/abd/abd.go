@@ -41,7 +41,7 @@ type Config struct {
 // Node is one participant: the owner of register Node.ID() and a reader
 // of all registers.
 type Node struct {
-	rt  *node.Runtime
+	rt  *node.ObjView
 	cfg Config
 	id  int
 	n   int
@@ -57,7 +57,7 @@ type Node struct {
 // New creates a node with identifier id over transport tr.
 func New(id int, tr netsim.Transport, cfg Config) *Node {
 	nd := &Node{cfg: cfg, id: id, n: tr.N(), reg: types.NewRegVector(tr.N())}
-	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
+	nd.rt = node.Bind(id, tr, nd, cfg.Runtime)
 	return nd
 }
 
@@ -68,7 +68,7 @@ func (nd *Node) Start() { nd.rt.Start() }
 func (nd *Node) Close() { nd.rt.Close() }
 
 // Runtime exposes lifecycle controls.
-func (nd *Node) Runtime() *node.Runtime { return nd.rt }
+func (nd *Node) Runtime() *node.Runtime { return nd.rt.Runtime }
 
 // Write installs v as this node's register value at a majority. Only the
 // register's owner may call it (SWMR).

@@ -43,7 +43,7 @@ type pendingWrite struct {
 
 // Node is one participant of Algorithm 2.
 type Node struct {
-	rt  *node.Runtime
+	rt  *node.ObjView
 	rb  *rbcast.RB
 	cfg Config
 	id  int
@@ -70,7 +70,7 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 		reg:     types.NewRegVector(tr.N()),
 		repSnap: make(map[TaskKey]types.RegVector),
 	}
-	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
+	nd.rt = node.Bind(id, tr, nd, cfg.Runtime)
 	nd.rb = rbcast.New(id, tr.N(), func(to int, m *wire.Message) { nd.rt.Send(to, m) }, nd.rbDeliver)
 	nd.rb.UseFanout(nd.rt.SendToMany) // marshal-once relay on capable transports
 	return nd
@@ -83,7 +83,7 @@ func (nd *Node) Start() { nd.rt.Start() }
 func (nd *Node) Close() { nd.rt.Close() }
 
 // Runtime exposes lifecycle controls.
-func (nd *Node) Runtime() *node.Runtime { return nd.rt }
+func (nd *Node) Runtime() *node.Runtime { return nd.rt.Runtime }
 
 // Write performs the preemptible write(v) operation (lines 43–44): the
 // value is parked in writePending and executed by the do-forever loop as a

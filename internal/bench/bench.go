@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"hotpath", "Hot-path allocation profile: write/snapshot ns, B and allocs per op", RunHotpath},
 		{"deltagossip", "Delta gossip: idle bandwidth of full-vector vs ack-tracked gossip", RunDeltaGossip},
 		{"dispatch", "Sharded dispatch: mixed-workload throughput and tail latency", RunDispatch},
+		{"multiobject", "Multi-object hosting: aggregate throughput scaling and hot-object isolation", RunMultiObject},
 	}
 }
 

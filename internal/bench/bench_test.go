@@ -37,8 +37,8 @@ func cellFloat(t *testing.T, row []string, col int) float64 {
 
 func TestCatalogue(t *testing.T) {
 	all := All()
-	if len(all) != 13 { // E1–E10, hotpath allocation profile, deltagossip, dispatch
-		t.Fatalf("catalogue has %d experiments, want 13", len(all))
+	if len(all) != 14 { // E1–E10, hotpath allocation profile, deltagossip, dispatch, multiobject
+		t.Fatalf("catalogue has %d experiments, want 14", len(all))
 	}
 	if _, ok := Lookup("e3"); !ok {
 		t.Error("case-insensitive lookup broken")

@@ -60,6 +60,16 @@ type Config struct {
 	Seed      int64
 	Adversary netsim.Adversary
 
+	// Objects is the number of snapshot objects every node hosts over its
+	// one shared transport (default 1). With several objects the workload
+	// workers spread operations across them with a hot-object skew (half
+	// the traffic hits object 0) and each object's history is recorded and
+	// checked independently — objects share nothing but the transport, so
+	// cross-object linearizability is not a defined notion. Result hashes
+	// fold the object id, and the single-object configuration hashes
+	// exactly as it did before multi-object hosting existed.
+	Objects int
+
 	// Duration of the checked workload phase.
 	Duration time.Duration
 
@@ -110,6 +120,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxThink <= 0 {
 		cfg.MaxThink = 2 * time.Millisecond
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 1
 	}
 	return cfg
 }
@@ -197,6 +210,7 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	cluster, err := core.NewCluster(core.Config{
 		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
 		Adversary:      cfg.Adversary,
+		Objects:        cfg.Objects,
 		LoopInterval:   time.Millisecond,
 		RetxInterval:   3 * time.Millisecond,
 		DispatchShards: cfg.DispatchShards,
@@ -219,8 +233,10 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	if cfg.Corrupt {
 		// Seed some state first so corruption has something to destroy.
 		for i := 0; i < cfg.N; i++ {
-			if err := cluster.Write(i, types.Value(fmt.Sprintf("seed%d", i))); err != nil {
-				return res, err
+			for o := 0; o < cfg.Objects; o++ {
+				if err := cluster.WriteObject(i, o, types.Value(fmt.Sprintf("seed%d", i))); err != nil {
+					return res, err
+				}
 			}
 		}
 		if err := cluster.CorruptAll(); err != nil {
@@ -236,13 +252,20 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		// (Recovered registers may retain arbitrary corrupted contents —
 		// the paper's safety guarantees are about the legal suffix.)
 		for i := 0; i < cfg.N; i++ {
-			if err := cluster.Write(i, types.Value(fmt.Sprintf("base%d", i))); err != nil {
-				return res, err
+			for o := 0; o < cfg.Objects; o++ {
+				if err := cluster.WriteObject(i, o, types.Value(fmt.Sprintf("base%d", i))); err != nil {
+					return res, err
+				}
 			}
 		}
 	}
 
-	rec := history.NewRecorderClocked(clk)
+	// One recorder per object: objects are independent snapshot instances,
+	// so each history is recorded and checked on its own.
+	recs := make([]*history.Recorder, cfg.Objects)
+	for o := range recs {
+		recs[o] = history.NewRecorderClocked(clk)
+	}
 	// Content checking requires every invoked write to consume exactly one
 	// algorithm timestamp, in invocation order. That holds for algorithms
 	// that install the write synchronously at invocation (the non-blocking
@@ -332,15 +355,24 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
 			for j := 0; !stop.Fired(); j++ {
+				// Object choice: single-object runs draw nothing extra, so
+				// their rng stream — and thus their hashes — are unchanged
+				// from before multi-object hosting. Multi-object runs skew
+				// hot: half the operations hit object 0, the rest spread
+				// uniformly over the cold objects.
+				obj := 0
+				if cfg.Objects > 1 && r.Intn(2) == 1 {
+					obj = 1 + r.Intn(cfg.Objects-1)
+				}
 				v := types.Value(fmt.Sprintf("c%d-%d", i, j))
-				end := rec.BeginWrite(i, v)
-				if err := cluster.Write(i, v); err == nil {
+				end := recs[obj].BeginWrite(i, v)
+				if err := cluster.WriteObject(i, obj, v); err == nil {
 					end()
 					writes.Add(1)
 				}
 				if r.Intn(3) == 0 {
-					endS := rec.BeginSnapshot(i)
-					if snap, err := cluster.Snapshot(i); err == nil {
+					endS := recs[obj].BeginSnapshot(i)
+					if snap, err := cluster.SnapshotObject(i, obj); err == nil {
 						endS(snap)
 						snaps.Add(1)
 					}
@@ -391,10 +423,20 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	res.Partitions = partitions.Load()
 	res.AckCorrupts = ackCorrupts.Load()
 
-	if fullCheck {
-		res.Violation = rec.Check()
-	} else {
-		res.Violation = checkComparabilityOnly(rec)
+	// Each object's history is checked independently — the first violating
+	// object reports. Cross-object ordering is deliberately unchecked:
+	// distinct objects are distinct linearizable registers vectors.
+	for _, rec := range recs {
+		var v *history.Violation
+		if fullCheck {
+			v = rec.Check()
+		} else {
+			v = checkComparabilityOnly(rec)
+		}
+		if v != nil {
+			res.Violation = v
+			break
+		}
 	}
 
 	// Hash only once the cluster is fully shut down, so the trace digest
@@ -403,7 +445,7 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	closeCluster()
 	if cfg.Hash {
 		res.TraceHash = hasher.Sum()
-		res.HistoryHash = historyHash(rec.Ops())
+		res.HistoryHash = historyHashObjects(recs)
 	}
 	return res, nil
 }

@@ -40,7 +40,8 @@ type corpusEntry struct {
 	AckCorrupt float64 `json:"ack_corrupt"`
 	Corrupt    bool    `json:"corrupt"`
 	Hostile    bool    `json:"hostile"`
-	Shards     int     `json:"shards,omitempty"` // dispatch shards (0 = classic single dispatcher)
+	Shards     int     `json:"shards,omitempty"`  // dispatch shards (0 = classic single dispatcher)
+	Objects    int     `json:"objects,omitempty"` // hosted snapshot objects per node (0 = 1)
 	DurationMS int64   `json:"duration_ms"`
 }
 
@@ -67,6 +68,7 @@ func (e corpusEntry) config() (Config, error) {
 		AckCorruptRate: e.AckCorrupt,
 		Corrupt:        e.Corrupt,
 		DispatchShards: e.Shards,
+		Objects:        e.Objects,
 		Virtual:        true,
 	}
 	if s := chaosShards(); s > 0 {

@@ -118,6 +118,43 @@ func TestVirtualRunDeterministicSharded(t *testing.T) {
 	}
 }
 
+// TestVirtualRunDeterministicMultiObject is the acceptance check for
+// multi-object hosting inside the deterministic simulation: a cluster
+// whose nodes each host several objects over one shared (sharded)
+// dispatcher must hash identically across repeated runs and across
+// GOMAXPROCS. The per-object fair lanes, the object-mixed shard hashing
+// and the per-object history recorders are all on this path, so any
+// OS-scheduling leak in them diverges the digests.
+func TestVirtualRunDeterministicMultiObject(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, shards := range []int{1, 4} {
+		var hashes [][2]uint64
+		for _, procs := range []int{1, 4} {
+			runtime.GOMAXPROCS(procs)
+			for rep := 0; rep < 2; rep++ {
+				cfg := detConfig(83)
+				cfg.Objects = 6
+				cfg.DispatchShards = shards
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Violation != nil {
+					t.Fatalf("shards=%d: %v", shards, res.Violation)
+				}
+				hashes = append(hashes, [2]uint64{res.TraceHash, res.HistoryHash})
+			}
+		}
+		for _, h := range hashes[1:] {
+			if h != hashes[0] {
+				t.Errorf("objects=6 shards=%d: hashes diverge across runs/GOMAXPROCS: %#x vs %#x", shards, hashes[0], h)
+			}
+		}
+	}
+}
+
 // TestVirtualRunFast: the virtual clock must collapse a 300ms schedule to
 // a small fraction of wall time — the property the campaign driver relies
 // on. The bound is loose (CI machines vary) but still far under 300ms.

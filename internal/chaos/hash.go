@@ -72,6 +72,22 @@ func (t *traceHasher) Sum() uint64 {
 	return t.h
 }
 
+// historyHashObjects fingerprints one history per hosted object, folding
+// each object's id in front of its operation digest. A single-object run
+// reduces to exactly historyHash(recs[0]) — the digest every pre-multi-
+// object trace produced — so stored expectations stay valid.
+func historyHashObjects(recs []*history.Recorder) uint64 {
+	if len(recs) == 1 {
+		return historyHash(recs[0].Ops())
+	}
+	h := fnvOffset64
+	for o, rec := range recs {
+		h = fnvWord(h, uint64(o))
+		h = fnvWord(h, historyHash(rec.Ops()))
+	}
+	return h
+}
+
 // historyHash fingerprints a recorded operation history — kinds, nodes,
 // exact (virtual) invocation/return instants, write indices and values,
 // and full snapshot contents — so two runs agree iff the cluster behaved

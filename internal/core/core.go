@@ -125,6 +125,15 @@ type Config struct {
 	// DispatchShards is the number of parallel dispatch workers per node
 	// (default 1 = the classic single dispatcher; see node.Options).
 	DispatchShards int
+	// Objects is the number of independent snapshot objects each node
+	// hosts, multiplexed over the one transport and dispatcher (default
+	// 1 — the paper's configuration). Every object is a full instance of
+	// the configured algorithm with its own registers, gossip state and
+	// ack tables; the object-scoped API (WriteObject, SnapshotObject, …)
+	// addresses them, and the unscoped API operates on object 0. Not
+	// supported by the bounded-counter variants, whose epoch-fencing
+	// transport wrapper is per node.
+	Objects int
 	// InboxCap bounds each node's channel capacity (default 4096).
 	InboxCap int
 	// MaxInt is BoundedSS's overflow threshold (default bounded.DefaultMaxInt).
@@ -155,9 +164,10 @@ type Corruptible interface {
 	Corrupt(rng *rand.Rand)
 }
 
-type member struct {
+// objInstance is one hosted snapshot object at one node: the algorithm
+// instance plus its fault-injection and invariant hooks.
+type objInstance struct {
 	obj       Object
-	rt        *node.Runtime
 	corrupt   func(*rand.Rand)
 	invariant func() bool
 	// state returns (ts, sns, reg, pndSNS) for cross-node invariant checks;
@@ -168,6 +178,13 @@ type member struct {
 	// Delta-gossip hooks; nil when the algorithm has no ack table.
 	ackCorrupt func(*rand.Rand)
 	ackStats   func() node.AckStats
+}
+
+// member is one node: the shared host runtime and its object instances
+// (len 1 unless Config.Objects > 1).
+type member struct {
+	rt   *node.Runtime
+	objs []objInstance
 }
 
 // Cluster is a running group of nodes implementing one snapshot object.
@@ -192,6 +209,7 @@ var (
 	ErrNotCorruptible = errors.New("core: algorithm is not self-stabilizing; no corruption hook")
 	ErrTimeout        = errors.New("core: timed out")
 	ErrUnknownNode    = errors.New("core: node id out of range")
+	ErrUnknownObject  = errors.New("core: object id out of range")
 	ErrUnknownAlg     = errors.New("core: unknown algorithm")
 )
 
@@ -199,6 +217,15 @@ var (
 func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.N < 3 {
 		return nil, fmt.Errorf("%w: need N ≥ 3, got %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 1
+	}
+	if cfg.Objects > node.MaxObjects {
+		return nil, fmt.Errorf("%w: Objects %d exceeds node.MaxObjects %d", ErrBadConfig, cfg.Objects, node.MaxObjects)
+	}
+	if cfg.Objects > 1 && (cfg.Algorithm == BoundedSS || cfg.Algorithm == BoundedDeltaSS) {
+		return nil, fmt.Errorf("%w: %s does not support multi-object hosting (its epoch-fencing transport wrapper is per node)", ErrBadConfig, cfg.Algorithm)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -222,99 +249,127 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	var deltaSetters []func(int64)
 
-	for i := 0; i < cfg.N; i++ {
-		var m member
+	// makeInstance builds one (node, object) algorithm instance without
+	// starting it. rt is the host runtime the instance runs on; for object
+	// 0 ropt.Attach is nil and the instance creates the runtime, further
+	// objects attach to it. start is deferred until every object is
+	// registered — node.Runtime.Start is idempotent, so starting each
+	// instance in order launches the host exactly once.
+	makeInstance := func(i int, ropt node.Options) (objInstance, *node.Runtime, func(), error) {
 		switch cfg.Algorithm {
 		case NonBlockingDG, NonBlockingSS:
 			nd := nonblocking.New(i, net, nonblocking.Config{
 				SelfStabilizing: cfg.Algorithm == NonBlockingSS,
 				FullGossip:      cfg.FullGossip,
-				Runtime:         ropts,
+				Runtime:         ropt,
 			})
-			m = member{obj: nd, rt: nd.Runtime(), invariant: nd.LocalInvariantHolds, closer: nd.Close}
+			inst := objInstance{obj: nd, invariant: nd.LocalInvariantHolds, closer: nd.Close}
 			if cfg.Algorithm == NonBlockingSS {
-				m.corrupt = nd.Corrupt
-				m.restart = nd.RestartDetectable
-				m.state = func() (int64, int64, types.RegVector, []int64) {
+				inst.corrupt = nd.Corrupt
+				inst.restart = nd.RestartDetectable
+				inst.state = func() (int64, int64, types.RegVector, []int64) {
 					st := nd.StateSummary()
 					return st.TS, 0, st.Reg, nil
 				}
 				if !cfg.FullGossip {
-					m.ackCorrupt = nd.CorruptAckTable
-					m.ackStats = nd.AckStats
+					inst.ackCorrupt = nd.CorruptAckTable
+					inst.ackStats = nd.AckStats
 				}
 			}
-			nd.Start()
+			return inst, nd.Runtime(), nd.Start, nil
 		case AlwaysTerminatingDG:
-			nd := alwaysterm.New(i, net, alwaysterm.Config{Runtime: ropts})
-			m = member{obj: nd, rt: nd.Runtime(), closer: nd.Close}
-			nd.Start()
+			nd := alwaysterm.New(i, net, alwaysterm.Config{Runtime: ropt})
+			return objInstance{obj: nd, closer: nd.Close}, nd.Runtime(), nd.Start, nil
 		case DeltaSS:
-			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, FullGossip: cfg.FullGossip, Runtime: ropts})
-			m = member{obj: nd, rt: nd.Runtime(), corrupt: nd.Corrupt, invariant: nd.LocalInvariantHolds, closer: nd.Close}
-			m.restart = nd.RestartDetectable
-			m.state = func() (int64, int64, types.RegVector, []int64) {
+			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, FullGossip: cfg.FullGossip, Runtime: ropt})
+			inst := objInstance{obj: nd, corrupt: nd.Corrupt, invariant: nd.LocalInvariantHolds, closer: nd.Close}
+			inst.restart = nd.RestartDetectable
+			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS
 			}
 			if !cfg.FullGossip {
-				m.ackCorrupt = nd.CorruptAckTable
-				m.ackStats = nd.AckStats
+				inst.ackCorrupt = nd.CorruptAckTable
+				inst.ackStats = nd.AckStats
 			}
 			deltaSetters = append(deltaSetters, nd.SetDelta)
-			nd.Start()
+			return inst, nd.Runtime(), nd.Start, nil
 		case StackedABD:
-			nd := stacked.New(i, net, stacked.Config{Runtime: ropts})
-			m = member{obj: nd, rt: nd.Runtime(), closer: nd.Close}
-			nd.Start()
+			nd := stacked.New(i, net, stacked.Config{Runtime: ropt})
+			return objInstance{obj: nd, closer: nd.Close}, nd.Runtime(), nd.Start, nil
 		case BoundedSS:
 			nd := bounded.New(i, net, bounded.Config{
 				MaxInt:           cfg.MaxInt,
 				AbortDuringReset: cfg.AbortDuringReset,
 				FullGossip:       cfg.FullGossip,
-				Runtime:          ropts,
+				Runtime:          ropt,
 			})
-			m = member{
-				obj: nd, rt: nd.Runtime(),
+			inst := objInstance{
+				obj:       nd,
 				corrupt:   nd.Inner().Corrupt,
 				invariant: nd.Inner().LocalInvariantHolds,
 				closer:    nd.Close,
 			}
-			m.state = func() (int64, int64, types.RegVector, []int64) {
+			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.Inner().StateSummary()
 				return st.TS, 0, st.Reg, nil
 			}
 			if !cfg.FullGossip {
-				m.ackCorrupt = nd.Inner().CorruptAckTable
-				m.ackStats = nd.Inner().AckStats
+				inst.ackCorrupt = nd.Inner().CorruptAckTable
+				inst.ackStats = nd.Inner().AckStats
 			}
-			nd.Start()
+			return inst, nd.Runtime(), nd.Start, nil
 		case BoundedDeltaSS:
 			nd := bounded.NewDelta(i, net, cfg.Delta, bounded.Config{
 				MaxInt:           cfg.MaxInt,
 				AbortDuringReset: cfg.AbortDuringReset,
 				FullGossip:       cfg.FullGossip,
-				Runtime:          ropts,
+				Runtime:          ropt,
 			})
-			m = member{
-				obj: nd, rt: nd.Runtime(),
+			inst := objInstance{
+				obj:       nd,
 				corrupt:   nd.InnerDelta().Corrupt,
 				invariant: nd.InnerDelta().LocalInvariantHolds,
 				closer:    nd.Close,
 			}
-			m.state = func() (int64, int64, types.RegVector, []int64) {
+			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.InnerDelta().StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS
 			}
 			if !cfg.FullGossip {
-				m.ackCorrupt = nd.InnerDelta().CorruptAckTable
-				m.ackStats = nd.InnerDelta().AckStats
+				inst.ackCorrupt = nd.InnerDelta().CorruptAckTable
+				inst.ackStats = nd.InnerDelta().AckStats
 			}
 			deltaSetters = append(deltaSetters, nd.InnerDelta().SetDelta)
-			nd.Start()
+			return inst, nd.Runtime(), nd.Start, nil
 		default:
-			net.Close()
-			return nil, ErrUnknownAlg
+			return objInstance{}, nil, nil, ErrUnknownAlg
+		}
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		m := member{objs: make([]objInstance, 0, cfg.Objects)}
+		starters := make([]func(), 0, cfg.Objects)
+		for o := 0; o < cfg.Objects; o++ {
+			ropt := ropts
+			if o > 0 {
+				ropt.Attach = m.rt
+			}
+			inst, rt, start, err := makeInstance(i, ropt)
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			if o == 0 {
+				m.rt = rt
+			}
+			m.objs = append(m.objs, inst)
+			starters = append(starters, start)
+		}
+		// Start only after the node's whole object table is registered:
+		// the table is immutable once the dispatchers run.
+		for _, start := range starters {
+			start()
 		}
 		c.members = append(c.members, m)
 	}
@@ -349,72 +404,106 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Config.AdaptiveDelta is off (or the algorithm has no δ).
 func (c *Cluster) DeltaTuner() *deltasnap.Tuner { return c.tuner }
 
-// CorruptAckTable fills node id's delta-gossip ack table with arbitrary
-// values — the chaos nemesis proving the table is soft state.
+// CorruptAckTable fills node id's delta-gossip ack tables (every hosted
+// object's — a transient fault hits the whole node's memory) with
+// arbitrary values — the chaos nemesis proving the tables are soft state.
 func (c *Cluster) CorruptAckTable(id int) error {
 	if id < 0 || id >= c.cfg.N {
 		return ErrUnknownNode
 	}
-	if c.members[id].ackCorrupt == nil {
+	if c.members[id].objs[0].ackCorrupt == nil {
 		return fmt.Errorf("%w: %s has no delta-gossip ack table", ErrNotCorruptible, c.cfg.Algorithm)
 	}
-	c.members[id].ackCorrupt(c.rng)
+	for o := range c.members[id].objs {
+		c.members[id].objs[o].ackCorrupt(c.rng)
+	}
 	return nil
 }
 
-// AckStats returns node id's gossip-mode tallies (zero when the algorithm
-// runs without delta gossip).
+// AckStats returns node id's gossip-mode tallies summed across its hosted
+// objects (zero when the algorithm runs without delta gossip).
 func (c *Cluster) AckStats(id int) node.AckStats {
-	if id < 0 || id >= c.cfg.N || c.members[id].ackStats == nil {
+	if id < 0 || id >= c.cfg.N {
 		return node.AckStats{}
 	}
-	return c.members[id].ackStats()
+	var sum node.AckStats
+	for o := range c.members[id].objs {
+		if stats := c.members[id].objs[o].ackStats; stats != nil {
+			s := stats()
+			sum.Full += s.Full
+			sum.Delta += s.Delta
+			sum.Suppressed += s.Suppressed
+		}
+	}
+	return sum
 }
 
 // N returns the cluster size.
 func (c *Cluster) N() int { return c.cfg.N }
 
+// Objects returns the number of snapshot objects each node hosts.
+func (c *Cluster) Objects() int { return c.cfg.Objects }
+
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Object returns node id's snapshot object.
-func (c *Cluster) Object(id int) Object { return c.members[id].obj }
+// Object returns node id's snapshot object 0.
+func (c *Cluster) Object(id int) Object { return c.members[id].objs[0].obj }
+
+// ObjectAt returns node id's snapshot object obj.
+func (c *Cluster) ObjectAt(id, obj int) Object { return c.members[id].objs[obj].obj }
 
 // Bounded returns node id's bounded-counter wrapper, or nil when the
 // cluster does not run BoundedSS. Experiments use it to read reset
 // statistics.
 func (c *Cluster) Bounded(id int) *bounded.Node {
-	nd, _ := c.members[id].obj.(*bounded.Node)
+	nd, _ := c.members[id].objs[0].obj.(*bounded.Node)
 	return nd
 }
 
 // Delta returns node id's Algorithm 3 node, or nil when the cluster does
 // not run DeltaSS. Experiments use it to inspect helping activity.
 func (c *Cluster) Delta(id int) *deltasnap.Node {
-	nd, _ := c.members[id].obj.(*deltasnap.Node)
+	nd, _ := c.members[id].objs[0].obj.(*deltasnap.Node)
 	return nd
 }
 
-// Write performs a write operation at node id.
+// Write performs a write operation at node id on object 0.
 func (c *Cluster) Write(id int, v types.Value) error {
+	return c.WriteObject(id, 0, v)
+}
+
+// WriteObject performs a write operation at node id on object obj.
+func (c *Cluster) WriteObject(id, obj int, v types.Value) error {
 	if id < 0 || id >= c.cfg.N {
 		return ErrUnknownNode
 	}
+	if obj < 0 || obj >= c.cfg.Objects {
+		return ErrUnknownObject
+	}
 	start := c.clk.Now()
-	err := c.members[id].obj.Write(v)
+	err := c.members[id].objs[obj].obj.Write(v)
 	if err == nil {
 		c.writeLat.Record(c.clk.Since(start))
 	}
 	return err
 }
 
-// Snapshot performs a snapshot operation at node id.
+// Snapshot performs a snapshot operation at node id on object 0.
 func (c *Cluster) Snapshot(id int) (types.RegVector, error) {
+	return c.SnapshotObject(id, 0)
+}
+
+// SnapshotObject performs a snapshot operation at node id on object obj.
+func (c *Cluster) SnapshotObject(id, obj int) (types.RegVector, error) {
 	if id < 0 || id >= c.cfg.N {
 		return nil, ErrUnknownNode
 	}
+	if obj < 0 || obj >= c.cfg.Objects {
+		return nil, ErrUnknownObject
+	}
 	start := c.clk.Now()
-	snap, err := c.members[id].obj.Snapshot()
+	snap, err := c.members[id].objs[obj].obj.Snapshot()
 	if err == nil {
 		c.snapLat.Record(c.clk.Since(start))
 	}
@@ -441,25 +530,31 @@ func (c *Cluster) Crashed(id int) bool { return c.members[id].rt.Crashed() }
 
 // RestartDetectable performs the paper's detectable restart at node id:
 // crash, re-initialise every variable, discard queued channel content, and
-// resume. Supported by the self-stabilizing algorithms.
+// resume. Supported by the self-stabilizing algorithms. A multi-object
+// node restarts each hosted object in turn — every object's program loses
+// its state, exactly as one process restart would lose them all.
 func (c *Cluster) RestartDetectable(id int) error {
 	if id < 0 || id >= c.cfg.N {
 		return ErrUnknownNode
 	}
-	if c.members[id].restart == nil {
+	if c.members[id].objs[0].restart == nil {
 		return fmt.Errorf("%w: %s has no detectable-restart hook", ErrNotCorruptible, c.cfg.Algorithm)
 	}
-	c.members[id].restart()
+	for o := range c.members[id].objs {
+		c.members[id].objs[o].restart()
+	}
 	return nil
 }
 
 // Corrupt injects a transient fault at node id, overwriting all of its
-// algorithm state with arbitrary values.
+// algorithm state — every hosted object's — with arbitrary values.
 func (c *Cluster) Corrupt(id int) error {
-	if c.members[id].corrupt == nil {
+	if c.members[id].objs[0].corrupt == nil {
 		return ErrNotCorruptible
 	}
-	c.members[id].corrupt(c.rng)
+	for o := range c.members[id].objs {
+		c.members[id].objs[o].corrupt(c.rng)
+	}
 	return nil
 }
 
@@ -477,8 +572,19 @@ func (c *Cluster) CorruptAll() error {
 // Definition 1 / Theorem 1 currently hold across all live nodes: locally,
 // ts_i ≥ reg_i[i].ts (and the Algorithm 3 conditions); across nodes,
 // ts_i dominates every reg_j[i].ts and sns_i every pndTsk_j[i].sns.
-// Algorithms without a self-stabilization contract report true.
+// Multi-object clusters check every object independently (objects share
+// nothing but the transport). Algorithms without a self-stabilization
+// contract report true.
 func (c *Cluster) InvariantsHold() bool {
+	for o := 0; o < c.cfg.Objects; o++ {
+		if !c.objectInvariantsHold(o) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cluster) objectInvariantsHold(o int) bool {
 	type view struct {
 		ts, sns int64
 		reg     types.RegVector
@@ -490,11 +596,12 @@ func (c *Cluster) InvariantsHold() bool {
 		if m.rt.Crashed() {
 			continue
 		}
-		if m.invariant != nil && !m.invariant() {
+		inst := &m.objs[o]
+		if inst.invariant != nil && !inst.invariant() {
 			return false
 		}
-		if m.state != nil {
-			ts, sns, reg, pnd := m.state()
+		if inst.state != nil {
+			ts, sns, reg, pnd := inst.state()
 			views[i] = &view{ts: ts, sns: sns, reg: reg, pndSNS: pnd}
 		}
 	}
@@ -601,7 +708,9 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 func (c *Cluster) Close() {
 	c.stopEv.Fire()
 	for i := range c.members {
-		c.members[i].closer()
+		for o := range c.members[i].objs {
+			c.members[i].objs[o].closer()
+		}
 	}
 	c.net.Close()
 	c.wg.Wait()

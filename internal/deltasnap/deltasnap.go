@@ -69,7 +69,7 @@ type pendingWrite struct {
 
 // Node is one participant of Algorithm 3.
 type Node struct {
-	rt  *node.Runtime
+	rt  *node.ObjView
 	cfg Config
 	id  int
 	n   int
@@ -110,7 +110,7 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 	if !cfg.FullGossip {
 		nd.acks = node.NewAckTable(tr.N(), node.DefaultAckStaleness)
 	}
-	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
+	nd.rt = node.Bind(id, tr, nd, cfg.Runtime)
 	return nd
 }
 
@@ -153,7 +153,7 @@ func (nd *Node) Start() { nd.rt.Start() }
 func (nd *Node) Close() { nd.rt.Close() }
 
 // Runtime exposes lifecycle controls.
-func (nd *Node) Runtime() *node.Runtime { return nd.rt }
+func (nd *Node) Runtime() *node.Runtime { return nd.rt.Runtime }
 
 // vcLocked is macro VC (line 69): the write-index projection of reg.
 func (nd *Node) vcLocked() types.VectorClock { return nd.reg.VC() }

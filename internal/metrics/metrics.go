@@ -26,6 +26,7 @@ type Counters struct {
 	reconnects   atomic.Int64
 	writeFails   atomic.Int64
 	invalidTypes atomic.Int64
+	invalidObjs  atomic.Int64
 
 	// Gossip-mode accounting: how many GOSSIP sends were full-vector
 	// fallbacks vs ack-dominance deltas, and how many ticks suppressed a
@@ -94,6 +95,12 @@ func (c *Counters) RecordWriteFailure() { c.writeFails.Add(1) }
 // RecordInvalidType accounts one message whose type fell outside the known
 // range — the footprint of a transient fault corrupting a type field.
 func (c *Counters) RecordInvalidType() { c.invalidTypes.Add(1) }
+
+// RecordInvalidObj accounts one message whose object id fell outside the
+// node's object table — the multi-object analogue of RecordInvalidType: a
+// transient fault may corrupt the id arbitrarily, and the dispatcher must
+// drop (and meter) such a message rather than index past the table.
+func (c *Counters) RecordInvalidObj() { c.invalidObjs.Add(1) }
 
 // RecordGossipFull accounts one full-vector fallback gossip send of n bytes
 // (no fresh ack from the peer: staleness, repair, or divergence).
@@ -176,6 +183,9 @@ func (c *Counters) WriteFailures() int64 { return c.writeFails.Load() }
 // InvalidTypes returns the number of out-of-range message types seen.
 func (c *Counters) InvalidTypes() int64 { return c.invalidTypes.Load() }
 
+// InvalidObjs returns the number of out-of-range object ids seen.
+func (c *Counters) InvalidObjs() int64 { return c.invalidObjs.Load() }
+
 // Snapshot captures the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{PerType: map[wire.Type]TypeCount{}}
@@ -194,6 +204,7 @@ func (c *Counters) Snapshot() Snapshot {
 	s.Reconnects = c.reconnects.Load()
 	s.WriteFailures = c.writeFails.Load()
 	s.InvalidTypes = c.invalidTypes.Load()
+	s.InvalidObjs = c.invalidObjs.Load()
 	s.GossipFull = c.gossipFull.Load()
 	s.GossipFullBytes = c.gossipFullBytes.Load()
 	s.GossipDelta = c.gossipDelta.Load()
@@ -219,6 +230,7 @@ type Snapshot struct {
 	Reconnects    int64
 	WriteFailures int64
 	InvalidTypes  int64
+	InvalidObjs   int64
 
 	// Gossip-mode breakdown of the TGossip sends above.
 	GossipFull       int64
@@ -240,6 +252,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Reconnects:    s.Reconnects - o.Reconnects,
 		WriteFailures: s.WriteFailures - o.WriteFailures,
 		InvalidTypes:  s.InvalidTypes - o.InvalidTypes,
+		InvalidObjs:   s.InvalidObjs - o.InvalidObjs,
 
 		GossipFull:       s.GossipFull - o.GossipFull,
 		GossipFullBytes:  s.GossipFullBytes - o.GossipFullBytes,
@@ -288,8 +301,8 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d\n", t, tc.Messages, tc.Bytes)
 	}
 	fmt.Fprintf(&b, "%-14s msgs=%-8d bytes=%d drops=%d dups=%d evictions=%d\n", "TOTAL", s.Messages, s.Bytes, s.Drops, s.Dups, s.Evictions)
-	if s.Reconnects != 0 || s.WriteFailures != 0 || s.InvalidTypes != 0 {
-		fmt.Fprintf(&b, "%-14s reconnects=%d write-failures=%d invalid-types=%d\n", "TRANSPORT", s.Reconnects, s.WriteFailures, s.InvalidTypes)
+	if s.Reconnects != 0 || s.WriteFailures != 0 || s.InvalidTypes != 0 || s.InvalidObjs != 0 {
+		fmt.Fprintf(&b, "%-14s reconnects=%d write-failures=%d invalid-types=%d invalid-objs=%d\n", "TRANSPORT", s.Reconnects, s.WriteFailures, s.InvalidTypes, s.InvalidObjs)
 	}
 	if s.GossipFull != 0 || s.GossipDelta != 0 || s.GossipSuppressed != 0 {
 		fmt.Fprintf(&b, "%-14s full=%d (%dB) delta=%d (%dB) suppressed=%d\n", "GOSSIP-MODE",

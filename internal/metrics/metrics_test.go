@@ -63,17 +63,19 @@ func TestTransportCounters(t *testing.T) {
 	c.RecordReconnect()
 	c.RecordWriteFailure()
 	c.RecordInvalidType()
+	c.RecordInvalidObj()
+	c.RecordInvalidObj()
 
-	if c.Evictions() != 2 || c.Reconnects() != 1 || c.WriteFailures() != 1 || c.InvalidTypes() != 1 {
-		t.Errorf("transport counters wrong: ev=%d rc=%d wf=%d it=%d",
-			c.Evictions(), c.Reconnects(), c.WriteFailures(), c.InvalidTypes())
+	if c.Evictions() != 2 || c.Reconnects() != 1 || c.WriteFailures() != 1 || c.InvalidTypes() != 1 || c.InvalidObjs() != 2 {
+		t.Errorf("transport counters wrong: ev=%d rc=%d wf=%d it=%d io=%d",
+			c.Evictions(), c.Reconnects(), c.WriteFailures(), c.InvalidTypes(), c.InvalidObjs())
 	}
 	s := c.Snapshot()
-	if s.Evictions != 2 || s.Reconnects != 1 || s.WriteFailures != 1 || s.InvalidTypes != 1 {
+	if s.Evictions != 2 || s.Reconnects != 1 || s.WriteFailures != 1 || s.InvalidTypes != 1 || s.InvalidObjs != 2 {
 		t.Errorf("snapshot transport fields wrong: %+v", s)
 	}
-	d := s.Sub(Snapshot{PerType: map[wire.Type]TypeCount{}, Evictions: 1})
-	if d.Evictions != 1 || d.Reconnects != 1 {
+	d := s.Sub(Snapshot{PerType: map[wire.Type]TypeCount{}, Evictions: 1, InvalidObjs: 1})
+	if d.Evictions != 1 || d.Reconnects != 1 || d.InvalidObjs != 1 {
 		t.Errorf("Sub ignored transport fields: %+v", d)
 	}
 	if out := s.String(); !strings.Contains(out, "evictions=2") || !strings.Contains(out, "reconnects=1") {

@@ -41,6 +41,7 @@ func (c *Counters) WritePrometheus(w io.Writer) {
 		{"selfstabsnap_reconnects_total", s.Reconnects},
 		{"selfstabsnap_write_failures_total", s.WriteFailures},
 		{"selfstabsnap_invalid_types_total", s.InvalidTypes},
+		{"selfstabsnap_invalid_objs_total", s.InvalidObjs},
 		{"selfstabsnap_gossip_full_total", s.GossipFull},
 		{"selfstabsnap_gossip_full_bytes_total", s.GossipFullBytes},
 		{"selfstabsnap_gossip_delta_total", s.GossipDelta},

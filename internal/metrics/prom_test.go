@@ -29,6 +29,8 @@ func TestWritePrometheusMatchesSnapshot(t *testing.T) {
 	c.RecordReconnect()
 	c.RecordWriteFailure()
 	c.RecordInvalidType()
+	c.RecordInvalidObj()
+	c.RecordInvalidObj()
 	c.RecordGossipFull(40)
 	c.RecordGossipDelta(12)
 	c.RecordGossipDelta(12)
@@ -92,6 +94,7 @@ func assertPromMatchesSnapshot(t *testing.T, r io.Reader, s Snapshot) {
 		"selfstabsnap_reconnects_total":        s.Reconnects,
 		"selfstabsnap_write_failures_total":    s.WriteFailures,
 		"selfstabsnap_invalid_types_total":     s.InvalidTypes,
+		"selfstabsnap_invalid_objs_total":      s.InvalidObjs,
 		"selfstabsnap_gossip_full_total":       s.GossipFull,
 		"selfstabsnap_gossip_full_bytes_total": s.GossipFullBytes,
 		"selfstabsnap_gossip_delta_total":      s.GossipDelta,

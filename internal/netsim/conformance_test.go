@@ -46,6 +46,17 @@ func TestPerPeerFIFOConformance(t *testing.T) {
 	transporttest.PerPeerFIFO(t, n, self, 0, []int{1, 2, 3}, 500)
 }
 
+// TestMixedObjectConformance pins object-id transparency on the simulator:
+// frames of distinct objects share one per-peer channel with FIFO intact,
+// Obj round-trips unmangled, and SendMany meters like a Send loop for
+// nonzero object ids.
+func TestMixedObjectConformance(t *testing.T) {
+	n := netsim.New(netsim.Config{N: 4, Seed: 1, InboxCap: 4096})
+	defer n.Close()
+	self := func(int) netsim.Transport { return n }
+	transporttest.MixedObjectTraffic(t, n, self, 0, []int{1, 2, 3}, 500)
+}
+
 // TestConcurrentFanoutConformance exercises the copy-on-write sharing of
 // broadcast fan-out under the race detector: all recipients read their
 // deliveries while the sender keeps broadcasting and mutating its message.

@@ -9,6 +9,7 @@ import (
 // enough distinct nodes acknowledge.
 type call struct {
 	id      uint64
+	obj     int32 // object the call is scoped to; only same-object acks match
 	accept  func(*wire.Message) bool
 	mu      chan struct{} // 1-buffered semaphore guarding senders/msgs
 	senders map[int32]struct{}
@@ -17,7 +18,7 @@ type call struct {
 }
 
 func (c *call) offer(m *wire.Message) {
-	if !c.accept(m) {
+	if m.Obj != c.obj || !c.accept(m) {
 		return
 	}
 	c.mu <- struct{}{}
@@ -44,7 +45,7 @@ func (c *call) offer(m *wire.Message) {
 func (c *call) offerBatch(ms []*wire.Message) {
 	locked := false
 	for _, m := range ms {
-		if !c.accept(m) {
+		if m.Obj != c.obj || !c.accept(m) {
 			continue
 		}
 		if !locked {
@@ -136,7 +137,15 @@ type CallOpts struct {
 // reached or Stop reports true. It aborts with ErrCrashed/ErrClosed if the
 // node fails or shuts down mid-call, and retries across an
 // undetectable restart are the caller's responsibility.
+//
+// Call is scoped to object 0 — the only object a single-object runtime
+// has. Multi-object algorithms call through their ObjView, which stamps
+// and scopes to its own object id.
 func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
+	return r.callObj(0, o)
+}
+
+func (r *Runtime) callObj(obj int32, o CallOpts) ([]*wire.Message, error) {
 	quorum := o.Quorum
 	if quorum <= 0 {
 		quorum = r.Majority()
@@ -148,6 +157,7 @@ func (r *Runtime) Call(o CallOpts) ([]*wire.Message, error) {
 	}
 
 	c := &call{
+		obj:     obj,
 		accept:  o.Accept,
 		mu:      make(chan struct{}, 1),
 		senders: make(map[int32]struct{}),

@@ -25,6 +25,16 @@
 // shards, but stays FIFO per shard key — which the algorithms choose so each
 // register's updates stay ordered (§2 only requires that steps admit a
 // serialization, which the history checker verifies).
+//
+// A Runtime can host many independent algorithm instances — one snapshot
+// object each — multiplexed over the one transport, dispatcher and
+// quorum-ack lane (see objview.go): messages carry a wire-level object id,
+// the dispatcher indexes the object table with it (bounds-guarded: a
+// corrupted id is metered and dropped, never indexed), and sharded
+// dispatch keys shards by (object, sender) so per-register FIFO holds per
+// object while independent objects ride different shard workers in
+// parallel. Single-object runtimes are the len(objs)==1 special case of
+// the same code path, with every message carrying object id 0.
 package node
 
 import (
@@ -80,16 +90,27 @@ type Options struct {
 	// workers by the algorithm's shard key (per-key FIFO preserved) plus
 	// a dedicated quorum-ack lane. Capped at MaxDispatchShards.
 	DispatchShards int
-	// ShardQueueCap bounds each shard lane's queue under sharded
-	// dispatch (default 4096). Overflow drops the oldest queued message
-	// — the same bounded-channel semantics as the transport inbox — and
-	// is metered as an eviction.
+	// ShardQueueCap bounds each shard lane's per-object queue under
+	// sharded dispatch (default 4096). Overflow drops the oldest queued
+	// message — the same bounded-channel semantics as the transport inbox
+	// — and is metered as an eviction.
 	ShardQueueCap int
+	// Attach, when non-nil, makes Bind join this existing host runtime as
+	// its next object instead of constructing a fresh single-object
+	// runtime; the host's tuning fields govern and the rest of this
+	// Options value is ignored. This is how core builds K-object nodes
+	// without changing any algorithm constructor's signature.
+	Attach *Runtime
 }
 
 // MaxDispatchShards bounds Options.DispatchShards; beyond this the router
 // itself becomes the bottleneck.
 const MaxDispatchShards = 64
+
+// MaxObjects bounds how many algorithm instances one Runtime may host. It
+// also bounds the object-id range the dispatcher will accept off the wire,
+// and keeps the per-shard per-object ring bookkeeping finite.
+const MaxObjects = 4096
 
 func (o Options) withDefaults() Options {
 	if o.LoopInterval <= 0 {
@@ -118,8 +139,15 @@ type Runtime struct {
 	tr   netsim.Transport
 	opts Options
 
-	alg Algorithm
+	// objs is the object table: one hosted algorithm instance (plus its
+	// resolved optional Router) per object id. Built by AddObject before
+	// Start, immutable afterwards — the dispatcher goroutines read it
+	// without synchronisation.
+	objs    []objSlot
+	started atomic.Bool
+
 	clk simclock.Clock
+	ctr *metrics.Counters
 
 	// crashed is read on every dispatched message and every send, so it
 	// is an atomic rather than a field under mu; mu still serialises the
@@ -153,37 +181,49 @@ type Runtime struct {
 	peerTo []int // 0..n-1 minus self: gossip excludes the sender
 
 	// Sharded dispatch state (nil/empty when DispatchShards == 1; see
-	// shard.go). router is the algorithm's optional Router, resolved once.
-	router Router
-	shardQ []*mailbox.Queue[*wire.Message]
+	// shard.go). Built in Start, once the object count is known: each
+	// shard lane is a fair per-object queue so a saturated object's
+	// backlog cannot head-of-line-block colder objects on the same shard.
+	shardQ []*fairLane
 	ackQ   *mailbox.Queue[*wire.Message]
 }
 
-// NewRuntime creates a runtime for node id over tr running alg. Start must
-// be called before messages flow.
+// objSlot is one hosted object: its algorithm and the algorithm's optional
+// Router, resolved once at registration.
+type objSlot struct {
+	alg    Algorithm
+	router Router
+}
+
+// NewRuntime creates a runtime for node id over tr running alg as object 0.
+// Start must be called before messages flow. Further objects may be
+// multiplexed onto the same runtime with AddObject before Start.
 func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runtime {
+	r := NewHost(id, tr, opts)
+	if alg != nil {
+		r.AddObject(alg)
+	}
+	return r
+}
+
+// NewHost creates a runtime with an empty object table. At least one
+// algorithm must be attached with AddObject before Start.
+func NewHost(id int, tr netsim.Transport, opts Options) *Runtime {
 	opts = opts.withDefaults()
+	opts.Attach = nil
 	r := &Runtime{
 		id:      id,
 		n:       tr.N(),
 		tr:      tr,
 		opts:    opts,
-		alg:     alg,
 		clk:     opts.Clock,
+		ctr:     tr.Counters(),
 		crashEv: opts.Clock.NewEvent(),
 		closeEv: opts.Clock.NewEvent(),
 		wg:      opts.Clock.NewGroup(),
 	}
 	r.collector.calls = make(map[uint64]*call)
 	r.many, _ = tr.(netsim.ManySender)
-	if opts.DispatchShards > 1 {
-		r.router, _ = alg.(Router)
-		r.shardQ = make([]*mailbox.Queue[*wire.Message], opts.DispatchShards)
-		for i := range r.shardQ {
-			r.shardQ[i] = mailbox.NewClocked[*wire.Message](opts.Clock, opts.ShardQueueCap)
-		}
-		r.ackQ = mailbox.NewClocked[*wire.Message](opts.Clock, opts.ShardQueueCap)
-	}
 	r.allTo = make([]int, r.n)
 	r.peerTo = make([]int, 0, r.n-1)
 	for k := 0; k < r.n; k++ {
@@ -193,6 +233,36 @@ func NewRuntime(id int, tr netsim.Transport, alg Algorithm, opts Options) *Runti
 		}
 	}
 	return r
+}
+
+// AddObject registers alg as the runtime's next object and returns the
+// per-object view the algorithm sends and calls through. Must be called
+// before Start; the object table is immutable once the dispatchers run.
+func (r *Runtime) AddObject(alg Algorithm) *ObjView {
+	if r.started.Load() {
+		panic("node: AddObject after Start")
+	}
+	if len(r.objs) >= MaxObjects {
+		panic(fmt.Sprintf("node: more than MaxObjects=%d objects", MaxObjects))
+	}
+	router, _ := alg.(Router)
+	r.objs = append(r.objs, objSlot{alg: alg, router: router})
+	return &ObjView{Runtime: r, obj: int32(len(r.objs) - 1)}
+}
+
+// Objects returns the number of hosted algorithm instances.
+func (r *Runtime) Objects() int { return len(r.objs) }
+
+// slot bounds-checks m's object id against the object table. A transient
+// fault may corrupt the id arbitrarily (the codec only rejects negative
+// ids, since it cannot know the table size); an out-of-range id is metered
+// as an invalid object and the message dropped — never indexed.
+func (r *Runtime) slot(m *wire.Message) *objSlot {
+	if o := int(m.Obj); o >= 0 && o < len(r.objs) {
+		return &r.objs[o]
+	}
+	r.ctr.RecordInvalidObj()
+	return nil
 }
 
 // ID returns this node's identifier.
@@ -232,14 +302,30 @@ func (r *Runtime) RecordEvent(kind, detail string) {
 
 // Start launches the dispatcher and do-forever goroutines. With
 // DispatchShards > 1 the dispatcher is a router plus a worker per shard and
-// a dedicated quorum-ack lane (see shard.go).
+// a dedicated quorum-ack lane (see shard.go). Start is idempotent: a
+// multi-object runtime is started through whichever hosted algorithm's
+// Start runs first, and the rest are no-ops.
 func (r *Runtime) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	if len(r.objs) == 0 {
+		panic("node: Start with no objects attached")
+	}
 	if r.opts.DispatchShards <= 1 {
 		r.wg.Add(2)
 		r.clk.Go(fmt.Sprintf("node%d-dispatch", r.id), r.dispatch)
 		r.clk.Go(fmt.Sprintf("node%d-loop", r.id), r.loop)
 		return
 	}
+	// Shard lanes are built here rather than at construction: each lane
+	// holds one bounded ring per object, and the object count is only
+	// final at Start.
+	r.shardQ = make([]*fairLane, r.opts.DispatchShards)
+	for i := range r.shardQ {
+		r.shardQ[i] = newFairLane(r.clk, len(r.objs), r.opts.ShardQueueCap)
+	}
+	r.ackQ = mailbox.NewClocked[*wire.Message](r.clk, r.opts.ShardQueueCap)
 	r.wg.Add(3 + len(r.shardQ))
 	r.clk.Go(fmt.Sprintf("node%d-route", r.id), r.routeLoop)
 	for i := range r.shardQ {
@@ -282,7 +368,11 @@ func (r *Runtime) dispatch() {
 		if r.Crashed() {
 			continue // a crashed node takes no steps; arriving messages are lost
 		}
-		r.alg.HandleMessage(m)
+		slot := r.slot(m)
+		if slot == nil {
+			continue // corrupted object id: metered, dropped
+		}
+		slot.alg.HandleMessage(m)
 		r.offer(m)
 	}
 }
@@ -300,7 +390,12 @@ func (r *Runtime) loop() {
 			continue
 		}
 		r.tickActive.Store(true)
-		r.alg.Tick()
+		// One do-forever iteration advances every hosted object: the
+		// paper's loop, sequentially multiplexed. (Single-object runtimes
+		// take the identical code path over a one-entry table.)
+		for i := range r.objs {
+			r.objs[i].alg.Tick()
+		}
 		r.tickActive.Store(false)
 		r.loopCount.Add(1)
 		r.lastTick.Store(r.clk.Now().UnixNano())

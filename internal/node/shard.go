@@ -1,7 +1,6 @@
 package node
 
 import (
-	"selfstabsnap/internal/mailbox"
 	"selfstabsnap/internal/wire"
 )
 
@@ -34,11 +33,18 @@ import (
 //	                         ├─ shard S-1 queue ─ worker
 //	                         └─ ack queue ─ ack worker: offerBatch
 //
-// Every queue is a bounded drop-oldest mailbox.Queue parked through the
-// runtime's clock, so under a virtual clock the workers are deterministic
-// scheduler tasks and the simclock determinism suite holds for any fixed
-// shard count (hashes are per (seed, shards) configuration: shards=1 and
-// shards=4 each replay identically, but not to each other).
+// Every queue is a bounded drop-oldest lane parked through the runtime's
+// clock, so under a virtual clock the workers are deterministic scheduler
+// tasks and the simclock determinism suite holds for any fixed shard count
+// (hashes are per (seed, shards) configuration: shards=1 and shards=4 each
+// replay identically, but not to each other).
+//
+// Multi-object runtimes shard by (object, sender): the route key is mixed
+// with the message's object id before reduction, so one object's senders
+// spread over the workers exactly as before while distinct objects land on
+// decorrelated shards. Inside a shard the lane is fair per object (see
+// fairlane.go) — a saturated hot object queues behind itself, not in front
+// of colder objects that hash onto the same worker.
 
 // Lane selects which dispatch lane an arriving message takes under
 // sharded dispatch.
@@ -75,6 +81,17 @@ type Router interface {
 // a single active-list pass.
 const ackBatchMax = 64
 
+// shardIndex reduces a (object, sender-key) pair to a shard. The key is
+// taken modulo the shard count through uint32 (route keys are node ids,
+// never negative) after mixing in the object id with a Knuth
+// multiplicative hash, so object 0 — every single-object deployment —
+// reduces to exactly the historical key%nshards mapping while distinct
+// objects shift their senders onto decorrelated workers.
+func shardIndex(obj int32, key, nshards int) int {
+	h := uint64(uint32(key)) + uint64(uint32(obj))*2654435761
+	return int(h % uint64(nshards))
+}
+
 // routeLoop is the sharded replacement for dispatch's Recv loop: it owns
 // the transport endpoint and only classifies, never handles. Queue
 // overflow here models the same bounded-channel loss as the transport
@@ -90,7 +107,7 @@ func (r *Runtime) routeLoop() {
 		r.ackQ.Close()
 	}()
 	nshards := len(r.shardQ)
-	ctr := r.tr.Counters()
+	ctr := r.ctr
 	for {
 		m, ok := r.tr.Recv(r.id)
 		if !ok {
@@ -102,9 +119,13 @@ func (r *Runtime) routeLoop() {
 		if r.crashed.Load() {
 			continue // a crashed node takes no steps; arriving messages are lost
 		}
+		slot := r.slot(m)
+		if slot == nil {
+			continue // corrupted object id: metered, dropped
+		}
 		lane, key := LaneShard, int(m.From)
-		if r.router != nil {
-			lane, key = r.router.Route(m)
+		if slot.router != nil {
+			lane, key = slot.router.Route(m)
 		}
 		if lane == LaneAck {
 			if r.ackQ.Push(m) {
@@ -112,19 +133,17 @@ func (r *Runtime) routeLoop() {
 			}
 			continue
 		}
-		idx := key % nshards
-		if idx < 0 {
-			idx += nshards
-		}
-		if r.shardQ[idx].Push(m) {
+		if r.shardQ[shardIndex(m.Obj, key, nshards)].Push(int(m.Obj), m) {
 			ctr.RecordEviction()
 		}
 	}
 }
 
-// shardLoop handles one shard's stream: strict FIFO, same per-message
-// discipline as the classic dispatcher.
-func (r *Runtime) shardLoop(q *mailbox.Queue[*wire.Message]) {
+// shardLoop handles one shard's stream: strict FIFO per (object, sender),
+// fair round-robin across objects, same per-message discipline as the
+// classic dispatcher. The router already bounds-checked the object id, so
+// the table index here cannot be out of range.
+func (r *Runtime) shardLoop(q *fairLane) {
 	defer r.wg.Done()
 	for {
 		m, ok := q.Pop()
@@ -137,7 +156,7 @@ func (r *Runtime) shardLoop(q *mailbox.Queue[*wire.Message]) {
 		if r.crashed.Load() {
 			continue
 		}
-		r.alg.HandleMessage(m)
+		r.objs[m.Obj].alg.HandleMessage(m)
 		r.offer(m)
 	}
 }

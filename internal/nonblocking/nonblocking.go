@@ -48,7 +48,7 @@ type Config struct {
 // node are internally serialised, matching the paper's one-client-per-node
 // model.
 type Node struct {
-	rt  *node.Runtime
+	rt  *node.ObjView
 	cfg Config
 	id  int
 	n   int
@@ -72,7 +72,7 @@ func New(id int, tr netsim.Transport, cfg Config) *Node {
 	if cfg.SelfStabilizing && !cfg.FullGossip {
 		nd.acks = node.NewAckTable(tr.N(), node.DefaultAckStaleness)
 	}
-	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
+	nd.rt = node.Bind(id, tr, nd, cfg.Runtime)
 	return nd
 }
 
@@ -103,7 +103,7 @@ func (nd *Node) Start() { nd.rt.Start() }
 func (nd *Node) Close() { nd.rt.Close() }
 
 // Runtime exposes the lifecycle controls (crash/resume) and counters.
-func (nd *Node) Runtime() *node.Runtime { return nd.rt }
+func (nd *Node) Runtime() *node.Runtime { return nd.rt.Runtime }
 
 // Write performs the write(v) operation (Algorithm 1 lines 12–16): install
 // (v, ts+1) locally, then repeat-broadcast WRITE(lReg) until a majority

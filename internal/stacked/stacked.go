@@ -35,7 +35,7 @@ type Config struct {
 
 // Node is one participant of the stacked emulation.
 type Node struct {
-	rt  *node.Runtime
+	rt  *node.ObjView
 	id  int
 	n   int
 	tag atomic.Uint64 // distinguishes concurrent collector calls
@@ -50,7 +50,7 @@ type Node struct {
 // New creates a node with identifier id over transport tr.
 func New(id int, tr netsim.Transport, cfg Config) *Node {
 	nd := &Node{id: id, n: tr.N(), reg: types.NewRegVector(tr.N())}
-	nd.rt = node.NewRuntime(id, tr, nd, cfg.Runtime)
+	nd.rt = node.Bind(id, tr, nd, cfg.Runtime)
 	return nd
 }
 
@@ -61,7 +61,7 @@ func (nd *Node) Start() { nd.rt.Start() }
 func (nd *Node) Close() { nd.rt.Close() }
 
 // Runtime exposes lifecycle controls.
-func (nd *Node) Runtime() *node.Runtime { return nd.rt }
+func (nd *Node) Runtime() *node.Runtime { return nd.rt.Runtime }
 
 // Write installs (v, ts+1) as this node's register at a majority: the ABD
 // SWMR write (the writer owns the timestamp, so no query phase is needed).

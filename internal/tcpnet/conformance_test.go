@@ -80,6 +80,20 @@ func TestPerPeerFIFOConformanceUnbatched(t *testing.T) {
 	transporttest.PerPeerFIFO(t, m.Transports[0], endpoint, 0, []int{1, 2, 3}, 500)
 }
 
+// TestMixedObjectConformance pins object-id transparency over real
+// sockets: interleaved objects share each TCP stream with per-peer FIFO
+// intact through the vectored writer, the codec round-trips Obj, and
+// SendMany's shared frames meter like a Send loop for nonzero object ids.
+func TestMixedObjectConformance(t *testing.T) {
+	m, err := NewMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	endpoint := func(k int) netsim.Transport { return m.Transports[k] }
+	transporttest.MixedObjectTraffic(t, m.Transports[0], endpoint, 0, []int{1, 2, 3}, 500)
+}
+
 // TestConcurrentFanoutConformance exercises frame sharing across per-peer
 // outboxes under the race detector: all recipients read their deliveries
 // while the sender keeps broadcasting and mutating its message.

@@ -322,6 +322,109 @@ func PerPeerFIFO(t *testing.T, sender netsim.Transport, endpoint func(id int) ne
 	SweepFrozen(t)
 }
 
+// MixedObjectTraffic pins the transport's object-id transparency: a
+// multi-object runtime multiplexes every object over one link, so frames
+// carrying different wire.Message.Obj values share the per-peer channel —
+// there is no per-object lane at the transport layer. The leg asserts, with
+// the send side alternating between Send and the SendMany shared-frame
+// fan-out:
+//
+//   - per-peer FIFO holds across the *mixed* stream: interleaving objects
+//     never reorders one sender's frames;
+//   - every delivery round-trips its Obj unmangled (the codec's fixed
+//     header carries it; a transport that re-marshals must preserve it);
+//   - SendMany with a nonzero Obj delivers and meters exactly like the
+//     equivalent Send loop.
+//
+// endpoint(k) must return the transport whose Recv observes node k.
+func MixedObjectTraffic(t *testing.T, sender netsim.Transport, endpoint func(id int) netsim.Transport, from int, to []int, count int) {
+	t.Helper()
+	many, ok := sender.(netsim.ManySender)
+	if !ok {
+		t.Fatalf("conformance: transport %T does not implement netsim.ManySender", sender)
+	}
+
+	// Metering equivalence with a nonzero object id.
+	payload := samplePayload(len(to))
+	payload.Obj = 42
+	before := sender.Counters().Snapshot()
+	for _, k := range to {
+		sender.Send(from, k, payload)
+	}
+	loopDelta := sender.Counters().Snapshot().Sub(before)
+	for _, k := range to {
+		m, ok := recvTimeout(t, endpoint(k), k)
+		if !ok {
+			t.Fatalf("conformance: Send loop delivered nothing to node %d", k)
+		}
+		if m.Obj != 42 {
+			t.Fatalf("conformance: Send mangled Obj at node %d: got %d, want 42", k, m.Obj)
+		}
+	}
+	before = sender.Counters().Snapshot()
+	many.SendMany(from, to, payload)
+	manyDelta := sender.Counters().Snapshot().Sub(before)
+	for _, k := range to {
+		m, ok := recvTimeout(t, endpoint(k), k)
+		if !ok {
+			t.Fatalf("conformance: SendMany delivered nothing to node %d", k)
+		}
+		if m.Obj != 42 {
+			t.Fatalf("conformance: SendMany mangled Obj at node %d: got %d, want 42", k, m.Obj)
+		}
+	}
+	if manyDelta.Messages != loopDelta.Messages || manyDelta.Bytes != loopDelta.Bytes {
+		t.Fatalf("conformance: mixed-object SendMany metered (%d msgs, %d bytes), Send loop metered (%d msgs, %d bytes)",
+			manyDelta.Messages, manyDelta.Bytes, loopDelta.Messages, loopDelta.Bytes)
+	}
+
+	// Per-peer FIFO across an object-interleaved stream.
+	objOf := func(i int) int32 {
+		return []int32{0, 1, 7, 4095}[i%4]
+	}
+	var wg sync.WaitGroup
+	for _, k := range to {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ep := endpoint(k)
+			for i := 0; i < count; i++ {
+				m, ok := ep.Recv(k)
+				if !ok {
+					t.Errorf("conformance: node %d's endpoint closed after %d/%d mixed-object deliveries", k, i, count)
+					return
+				}
+				if m.SNS != int64(i) {
+					t.Errorf("conformance: node %d delivery %d carries SNS %d — per-peer FIFO violated by object interleaving", k, i, m.SNS)
+					return
+				}
+				if m.Obj != objOf(i) {
+					t.Errorf("conformance: node %d delivery %d carries Obj %d, want %d", k, i, m.Obj, objOf(i))
+					return
+				}
+			}
+		}(k)
+	}
+	for i := 0; i < count; i++ {
+		m := &wire.Message{Type: wire.TGossip, SNS: int64(i), Obj: objOf(i)}
+		if i%2 == 1 {
+			many.SendMany(from, to, m)
+		} else {
+			for _, k := range to {
+				sender.Send(from, k, m)
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("conformance: mixed-object FIFO streams did not all arrive")
+	}
+	SweepFrozen(t)
+}
+
 // SweepFrozen re-verifies every payload the mutcheck registry is tracking
 // and fails the test on any in-place mutation. A no-op without the
 // `mutcheck` build tag (MutcheckSweep then reports nothing); under the tag

@@ -14,6 +14,7 @@ var (
 	ErrTruncated = errors.New("wire: truncated message")
 	ErrTooLarge  = errors.New("wire: collection too large")
 	ErrBadType   = errors.New("wire: unknown message type")
+	ErrBadObj    = errors.New("wire: negative object id")
 )
 
 // maxElems bounds every length-prefixed collection. Bounded decoding is part
@@ -201,6 +202,7 @@ func marshalInto(e *encoder, m *Message) {
 	e.u8(uint8(m.Type))
 	e.i32(m.From)
 	e.i32(m.To)
+	e.i32(m.Obj)
 	e.u64(m.Seq)
 	e.i64(m.SSN)
 	e.i64(m.TS)
@@ -268,6 +270,14 @@ func unmarshalFrom(d *decoder, depth int) *Message {
 	}
 	m.From = d.i32()
 	m.To = d.i32()
+	m.Obj = d.i32()
+	if d.err == nil && m.Obj < 0 {
+		// A negative object id can only be a fault: nothing legitimate
+		// produces one. The positive out-of-range case is the dispatcher's
+		// to judge — the codec does not know the object-table size.
+		d.err = ErrBadObj
+		return nil
+	}
 	m.Seq = d.u64()
 	m.SSN = d.i64()
 	m.TS = d.i64()

@@ -46,6 +46,15 @@ type Message struct {
 	From, To int32
 	Seq      uint64
 
+	// Obj identifies the snapshot object this message belongs to when a
+	// runtime multiplexes several objects over one transport. Single-object
+	// deployments leave it 0 (object 0), so the field is invisible to them.
+	// Never negative on the wire: the codec rejects a negative id the same
+	// way it rejects an unknown Type, and the dispatcher bounds-checks the
+	// remaining range against its object table (a transient fault may
+	// corrupt the id arbitrarily).
+	Obj int32
+
 	// Protocol indices.
 	SSN int64 // snapshot query index (Algorithms 1–3)
 	TS  int64 // gossiped write index where applicable
@@ -127,8 +136,8 @@ func (m *Message) ShallowClone() *Message {
 // fixed header covers Type through TaskSN.
 const (
 	tsValueOverhead = 8 + 4
-	fixedHeaderSize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8 // Type..TaskSN
-	fixedTailSize   = 8 + 8 + 8                         // Tag, Epoch, MaxSNS
+	fixedHeaderSize = 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8 // Type..TaskSN (incl. Obj)
+	fixedTailSize   = 8 + 8 + 8                             // Tag, Epoch, MaxSNS
 )
 
 func regVectorSize(r types.RegVector) int {

@@ -39,6 +39,13 @@ func sampleMessages() []*Message {
 		{Type: TRegQueryAck, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 9},
 		{Type: TRegWriteBack, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 10},
 		{Type: TRegWriteBackAck, Tag: 10},
+
+		// Multi-object traffic: the same protocol messages stamped with a
+		// nonzero object id (object-keyed wire routing).
+		{Type: TWrite, Obj: 7, Reg: types.RegVector{{TS: 1, Val: types.Value("a")}}},
+		{Type: TWriteAck, Obj: 7, Reg: types.RegVector{{TS: 2}}},
+		{Type: TGossip, Obj: 4095, Entry: types.TSValue{TS: 9, Val: types.Value("g")}},
+		{Type: TGossipAck, Obj: 4095, TS: 9},
 	}
 }
 
@@ -63,7 +70,7 @@ func messagesEqual(a, b *Message) bool {
 	if a == nil {
 		return true
 	}
-	if a.Type != b.Type || a.From != b.From || a.To != b.To || a.Seq != b.Seq ||
+	if a.Type != b.Type || a.From != b.From || a.To != b.To || a.Obj != b.Obj || a.Seq != b.Seq ||
 		a.SSN != b.SSN || a.TS != b.TS || a.SNS != b.SNS || a.Src != b.Src ||
 		a.TaskSN != b.TaskSN || a.Tag != b.Tag || a.Epoch != b.Epoch || a.MaxSNS != b.MaxSNS {
 		return false
@@ -125,6 +132,25 @@ func TestUnmarshalRejectsBadType(t *testing.T) {
 	b[0] = 200 // out of range
 	if _, err := Unmarshal(b); err == nil {
 		t.Fatal("unknown type accepted")
+	}
+}
+
+// TestUnmarshalRejectsNegativeObj: a negative object id can only come
+// from a fault (nothing legitimate produces one), so the codec rejects it
+// at the same layer that rejects an unknown Type. Positive out-of-range
+// ids decode fine — the dispatcher's object-table bounds guard judges
+// those, since only it knows how many objects are configured.
+func TestUnmarshalRejectsNegativeObj(t *testing.T) {
+	b := Marshal(&Message{Type: TWrite, Obj: 3})
+	const objOff = 1 + 4 + 4 // Type, From, To precede Obj
+	b[objOff+3] = 0x80       // little-endian sign bit → Obj < 0
+	if _, err := Unmarshal(b); err != ErrBadObj {
+		t.Fatalf("negative object id: err=%v, want ErrBadObj", err)
+	}
+	b[objOff+3] = 0x7F // large positive id: decodes, dispatcher's problem
+	m, err := Unmarshal(b)
+	if err != nil || m.Obj <= 0 {
+		t.Fatalf("large positive object id rejected by codec: m=%+v err=%v", m, err)
 	}
 }
 

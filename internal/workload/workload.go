@@ -39,6 +39,14 @@ type ClosedLoopConfig struct {
 	Think time.Duration
 	// Mix blends snapshots into the write stream.
 	Mix Mix
+	// Objects bounds the object ids the workers target: operations spread
+	// over objects [0, Objects). 0 (or anything above what the cluster
+	// hosts) means every hosted object.
+	Objects int
+	// ObjectSkew shapes the object popularity distribution as a Zipf law
+	// with parameter s = ObjectSkew (object 0 hottest). rand.Zipf requires
+	// s > 1; values ≤ 1 fall back to a uniform mix. Ignored with one object.
+	ObjectSkew float64
 	// Seed drives think times deterministically.
 	Seed int64
 	// Clock paces the run. nil means real time; the cluster's
@@ -78,6 +86,11 @@ func RunClosedLoop(c *core.Cluster, cfg ClosedLoopConfig) Report {
 		cfg.ValueSize = 16
 	}
 
+	objects := cfg.Objects
+	if objects <= 0 || objects > c.Objects() {
+		objects = c.Objects()
+	}
+
 	clk := simclock.Or(cfg.Clock)
 	var writes, snaps, errs atomic.Int64
 	var writeLat, snapLat metrics.LatencyRecorder
@@ -91,14 +104,32 @@ func RunClosedLoop(c *core.Cluster, cfg ClosedLoopConfig) Report {
 			clk.Go(fmt.Sprintf("workload-%d-%d", id, w), func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(id*131+w)))
+				// Single-object runs draw nothing extra from rng here, so
+				// their operation stream is unchanged from before
+				// multi-object hosting.
+				var zipf *rand.Zipf
+				if objects > 1 && cfg.ObjectSkew > 1 {
+					zipf = rand.NewZipf(rng, cfg.ObjectSkew, 1, uint64(objects-1))
+				}
+				pickObj := func() int {
+					switch {
+					case objects == 1:
+						return 0
+					case zipf != nil:
+						return int(zipf.Uint64())
+					default:
+						return rng.Intn(objects)
+					}
+				}
 				payload := make(types.Value, cfg.ValueSize)
 				for j := 0; ; j++ {
 					if stop.Fired() {
 						return
 					}
+					obj := pickObj()
 					rng.Read(payload)
 					start := clk.Now()
-					if err := c.Write(id, payload); err != nil {
+					if err := c.WriteObject(id, obj, payload); err != nil {
 						errs.Add(1)
 					} else {
 						writes.Add(1)
@@ -106,7 +137,7 @@ func RunClosedLoop(c *core.Cluster, cfg ClosedLoopConfig) Report {
 					}
 					if cfg.Mix.SnapshotEvery > 0 && j%cfg.Mix.SnapshotEvery == cfg.Mix.SnapshotEvery-1 {
 						start = clk.Now()
-						if _, err := c.Snapshot(id); err != nil {
+						if _, err := c.SnapshotObject(id, obj); err != nil {
 							errs.Add(1)
 						} else {
 							snaps.Add(1)
