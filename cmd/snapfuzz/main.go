@@ -16,6 +16,16 @@
 //
 //	snapfuzz -campaign -runs 1000 -corrupt -crash 15 -partition 10 -out failures.json
 //
+// Hostile-topology nemeses stack on top of either mode: an asymmetric WAN
+// link matrix (-wan-matrix), flapping partitions (-flap), slow-but-alive
+// nodes (-slow-node), skewed detectable restarts (-skewed-restart), and the
+// checkpoint/restore bank workload (-bank) with its cut-consistency
+// invariant:
+//
+//	snapfuzz -campaign -runs 500 -alg ss-delta -crash 4 -partition 3 \
+//	    -wan-matrix 3 -wan-cross 1ms -flap 2 -flap-period 150ms -flap-duty 0.1 \
+//	    -slow-node 4 -slow-factor 4 -skewed-restart 8 -bank -out failures.json
+//
 // Exit status 1 on any violation. In sequential mode the failing seed is
 // printed so the run can be replayed exactly (-seed N -runs 1 -virtual);
 // in campaign mode every failure — seed, violation, full and minimized
@@ -34,6 +44,7 @@ import (
 
 	"selfstabsnap/internal/chaos"
 	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/faults"
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/obs"
 )
@@ -63,6 +74,17 @@ func main() {
 		drop      = flag.Float64("drop", 0.05, "packet drop probability")
 		dup       = flag.Float64("dup", 0.05, "packet duplication probability")
 		virtual   = flag.Bool("virtual", false, "run on the deterministic virtual clock (no wall-clock sleeping)")
+		wanMatrix = flag.Int("wan-matrix", 0, "asymmetric WAN link matrix with this many latency regions (0 = uniform network)")
+		wanCross  = flag.Duration("wan-cross", time.Millisecond, "WAN matrix: cross-region delay bound")
+		wanDrop   = flag.Float64("wan-drop", 0.05, "WAN matrix: cross-region drop probability")
+		flap      = flag.Int("flap", 0, "flapping partitions: nodes on the periodic cut/heal train (0 = none)")
+		flapPer   = flag.Duration("flap-period", 0, "flapping partitions: pulse period (0 = default)")
+		flapDuty  = flag.Float64("flap-duty", 0, "flapping partitions: fraction of each period spent cut (0 = default)")
+		slowNode  = flag.Float64("slow-node", 0, "slow-but-alive windows per second (0 = none)")
+		slowFact  = flag.Float64("slow-factor", 0, "delay inflation while a node is slowed (0 = default)")
+		skewedRst = flag.Float64("skewed-restart", 0, "detectable restarts with recovery per second (0 = none)")
+		maxSkew   = flag.Duration("max-skew", 0, "skewed restarts: restart-window bound (0 = adaptive default)")
+		bankLoad  = flag.Bool("bank", false, "drive the checkpoint/restore bank workload instead of the generic one")
 		campaign  = flag.Bool("campaign", false, "campaign mode: shard seeds across workers, virtual time, minimize failures")
 		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
 		out       = flag.String("out", "", "campaign mode: write failures (seed + minimized schedule) as JSON to this file")
@@ -86,8 +108,21 @@ func main() {
 		Adversary: netsim.Adversary{DropProb: *drop, DupProb: *dup, MaxDelay: 2 * time.Millisecond},
 		Duration:  *duration,
 		CrashRate: *crash, PartitionRate: *partition, AckCorruptRate: *ackCorr,
-		Corrupt: *corrupt,
-		Virtual: *virtual,
+		Corrupt:           *corrupt,
+		Virtual:           *virtual,
+		SlowNodeRate:      *slowNode,
+		SlowNodeFactor:    *slowFact,
+		SkewedRestartRate: *skewedRst,
+		MaxSkew:           *maxSkew,
+	}
+	if *wanMatrix > 0 {
+		base.WAN = &faults.WANSpec{Regions: *wanMatrix, Cross: *wanCross, DropProb: *wanDrop}
+	}
+	if *flap > 0 {
+		base.Flapping = &chaos.FlappingSpec{Count: *flap, Period: *flapPer, Duty: *flapDuty}
+	}
+	if *bankLoad {
+		base.Bank = &chaos.BankSpec{}
 	}
 
 	prog := newFuzzProgress(*runs)

@@ -1,0 +1,245 @@
+// Package bank implements the checkpoint/restore workload the chaos
+// harness drives over a snapshot object: every node holds a balance of
+// "bitcakes", transfers some to random peers, and journals its cumulative
+// ledger — balance plus per-peer sent/received counters — into its SWMR
+// register. Snapshots double as checkpoints: a receiver credits a transfer
+// only when a snapshot shows the sender's cumulative sent counter ahead of
+// its own received counter, and a node recovering from a detectable
+// restart rebuilds its ledger from the latest checkpoint.
+//
+// The payoff is an application-level invariant the register-level checker
+// cannot express (RuleCheckpointConsistent): because counters are monotone
+// and credits are snapshot-mediated, *every* snapshot must decode to a
+// consistent cut — each ledger internally balanced, no transfer received
+// before it was sent, and total bitcakes (balances + in flight) exactly
+// conserved. A non-atomic snapshot that mixes a receiver's credit with a
+// stale view of the sender shows up as negative in-flight money.
+package bank
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selfstabsnap/internal/history"
+	"selfstabsnap/internal/types"
+)
+
+// State is one node's ledger: its balance and the cumulative bitcakes it
+// has sent to / received from every peer. All counters only grow, which is
+// what makes snapshot comparability translate into cut consistency.
+type State struct {
+	N       int
+	ID      int
+	Initial int64
+	Balance int64
+	Sent    []int64 // Sent[j]: cumulative bitcakes transferred to node j
+	Recv    []int64 // Recv[j]: cumulative bitcakes credited from node j
+}
+
+// NewState returns node id's pristine ledger in an n-node bank.
+func NewState(n, id int, initial int64) *State {
+	return &State{
+		N: n, ID: id, Initial: initial, Balance: initial,
+		Sent: make([]int64, n), Recv: make([]int64, n),
+	}
+}
+
+// Transfer debits amt bitcakes to peer. The credit happens on the peer when
+// a snapshot surfaces the grown Sent counter (see Reconcile).
+func (s *State) Transfer(peer int, amt int64) {
+	s.Balance -= amt
+	s.Sent[peer] += amt
+}
+
+// Reconcile credits every transfer the snapshot proves was sent to s but
+// not yet received: snapshot evidence Sent_p[id] beyond Recv[p] becomes
+// balance. Credits are idempotent — replaying the same snapshot credits
+// nothing — so reconciling after a restore is safe.
+func (s *State) Reconcile(snap types.RegVector) {
+	for p := 0; p < s.N && p < len(snap); p++ {
+		if p == s.ID {
+			continue
+		}
+		o, err := Decode(snap[p].Val)
+		if err != nil || o.N != s.N || s.ID >= o.N {
+			continue
+		}
+		if d := o.Sent[s.ID] - s.Recv[p]; d > 0 {
+			s.Recv[p] += d
+			s.Balance += d
+		}
+	}
+}
+
+// Encode serialises the ledger into a register value.
+func (s *State) Encode() types.Value {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bank|%d|%d", s.Initial, s.Balance)
+	for _, vec := range [][]int64{s.Sent, s.Recv} {
+		b.WriteByte('|')
+		for j, v := range vec {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+	}
+	return types.Value(b.String())
+}
+
+// Decode parses a journaled ledger. The decoded state carries no ID — the
+// caller knows it from the register position.
+func Decode(v types.Value) (*State, error) {
+	parts := strings.Split(string(v), "|")
+	if len(parts) != 5 || parts[0] != "bank" {
+		return nil, fmt.Errorf("bank: not a ledger value: %q", v)
+	}
+	initial, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bank: bad initial in %q", v)
+	}
+	bal, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bank: bad balance in %q", v)
+	}
+	vecs := make([][]int64, 2)
+	for k, raw := range parts[3:] {
+		fields := strings.Split(raw, ",")
+		vec := make([]int64, len(fields))
+		for j, f := range fields {
+			if vec[j], err = strconv.ParseInt(f, 10, 64); err != nil {
+				return nil, fmt.Errorf("bank: bad counter in %q", v)
+			}
+		}
+		vecs[k] = vec
+	}
+	if len(vecs[0]) != len(vecs[1]) {
+		return nil, fmt.Errorf("bank: mismatched counter lengths in %q", v)
+	}
+	return &State{
+		N: len(vecs[0]), Initial: initial, Balance: bal,
+		Sent: vecs[0], Recv: vecs[1],
+	}, nil
+}
+
+// Restore rebuilds node id's ledger from a checkpoint snapshot: its own
+// journaled entry if one is visible (a bottom entry means it never
+// journaled, so the pristine ledger stands), reconciled against the same
+// snapshot so credits the checkpoint proves are not lost. Transfers the
+// node journaled but never surfaced to anyone are rolled back — which is
+// sound exactly because they were never surfaced: no snapshot saw them, so
+// no peer was credited.
+func Restore(snap types.RegVector, id, n int, initial int64) *State {
+	st := NewState(n, id, initial)
+	if id < len(snap) {
+		if o, err := Decode(snap[id].Val); err == nil && o.N == n {
+			o.ID = id
+			st = o
+		}
+	}
+	st.Reconcile(snap)
+	return st
+}
+
+// violationf builds a RuleCheckpointConsistent violation.
+func violationf(format string, args ...interface{}) *history.Violation {
+	return &history.Violation{
+		Rule:   history.RuleCheckpointConsistent,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// checkLedger verifies one decoded ledger's internal invariant.
+func checkLedger(st *State, who string, n int, initial int64) *history.Violation {
+	if st.N != n {
+		return violationf("%s: ledger sized for %d nodes, bank has %d", who, st.N, n)
+	}
+	if st.Initial != initial {
+		return violationf("%s: ledger initial %d, bank initial %d", who, st.Initial, initial)
+	}
+	if st.Balance < 0 {
+		return violationf("%s: negative balance %d", who, st.Balance)
+	}
+	sum := st.Balance
+	for j := 0; j < n; j++ {
+		if st.Sent[j] < 0 || st.Recv[j] < 0 {
+			return violationf("%s: negative counter for peer %d", who, j)
+		}
+		sum += st.Sent[j] - st.Recv[j]
+	}
+	if sum != initial {
+		return violationf("%s: balance %d does not reconcile with counters (off by %d)",
+			who, st.Balance, sum-initial)
+	}
+	return nil
+}
+
+// CheckSnapshot verifies that one snapshot is a consistent, conserving cut
+// of an n-node bank where every node started with initial bitcakes: every
+// visible ledger decodes and balances internally, no pair has received
+// more than was sent (in-flight money is never negative), and balances
+// plus in-flight money total exactly n × initial. A bottom entry stands
+// for a node still on its pristine ledger.
+func CheckSnapshot(snap types.RegVector, n int, initial int64) *history.Violation {
+	if len(snap) < n {
+		return violationf("snapshot covers %d of %d nodes", len(snap), n)
+	}
+	states := make([]*State, n)
+	for i := 0; i < n; i++ {
+		if snap[i].IsBottom() {
+			states[i] = NewState(n, i, initial)
+			continue
+		}
+		st, err := Decode(snap[i].Val)
+		if err != nil {
+			return violationf("node %d: %v", i, err)
+		}
+		if v := checkLedger(st, fmt.Sprintf("node %d", i), n, initial); v != nil {
+			return v
+		}
+		states[i] = st
+	}
+	total := int64(0)
+	for i, st := range states {
+		total += st.Balance
+		for j := 0; j < n; j++ {
+			inFlight := st.Sent[j] - states[j].Recv[i]
+			if inFlight < 0 {
+				return violationf("node %d received %d from node %d which only sent %d — inconsistent cut",
+					j, states[j].Recv[i], i, st.Sent[j])
+			}
+			total += inFlight
+		}
+	}
+	if want := int64(n) * initial; total != want {
+		return violationf("bitcakes not conserved: %d in cut, %d minted", total, want)
+	}
+	return nil
+}
+
+// CheckOps runs the checkpoint-consistency invariant over a recorded
+// history: every returned snapshot must be a consistent conserving cut,
+// and every returned write must journal an internally balanced ledger.
+func CheckOps(ops []*history.Op, n int, initial int64) *history.Violation {
+	for _, op := range ops {
+		if !op.Returned {
+			continue
+		}
+		switch op.Kind {
+		case history.KindWrite:
+			st, err := Decode(op.WriteValue)
+			if err != nil {
+				return violationf("write %d of node %d: %v", op.WriteIndex, op.Node, err)
+			}
+			if v := checkLedger(st, fmt.Sprintf("write %d of node %d", op.WriteIndex, op.Node), n, initial); v != nil {
+				return v
+			}
+		case history.KindSnapshot:
+			if v := CheckSnapshot(op.Snapshot, n, initial); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}

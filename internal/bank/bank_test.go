@@ -1,0 +1,198 @@
+package bank
+
+import (
+	"strings"
+	"testing"
+
+	"selfstabsnap/internal/history"
+	"selfstabsnap/internal/types"
+)
+
+// vec journals the given states into a register vector; nil slots stay ⊥.
+func vec(states ...*State) types.RegVector {
+	v := make(types.RegVector, len(states))
+	for i, st := range states {
+		if st != nil {
+			v[i] = types.TSValue{TS: int64(i + 1), Val: st.Encode()}
+		}
+	}
+	return v
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	st := NewState(3, 1, 1000)
+	st.Transfer(0, 7)
+	st.Transfer(2, 3)
+	st.Recv[2] = 5
+	st.Balance += 5
+	got, err := Decode(st.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || got.Initial != 1000 || got.Balance != st.Balance {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	for j := 0; j < 3; j++ {
+		if got.Sent[j] != st.Sent[j] || got.Recv[j] != st.Recv[j] {
+			t.Fatalf("round trip lost counters: %+v vs %+v", got, st)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	for _, v := range []string{
+		"", "v17", "bank|1|2", "bank|x|2|0|0", "bank|1|2|0,0|0", "coin|1|2|0|0",
+		"bank|1|2|a,b|c,d",
+	} {
+		if _, err := Decode(types.Value(v)); err == nil {
+			t.Errorf("Decode(%q) accepted garbage", v)
+		}
+	}
+}
+
+// TestReconcileIdempotent: replaying the same snapshot credits nothing new.
+func TestReconcileIdempotent(t *testing.T) {
+	t.Parallel()
+	sender := NewState(2, 0, 100)
+	sender.Transfer(1, 30)
+	receiver := NewState(2, 1, 100)
+	snap := vec(sender, receiver)
+	receiver.Reconcile(snap)
+	if receiver.Balance != 130 || receiver.Recv[0] != 30 {
+		t.Fatalf("first reconcile: %+v", receiver)
+	}
+	receiver.Reconcile(snap)
+	if receiver.Balance != 130 || receiver.Recv[0] != 30 {
+		t.Fatalf("reconcile not idempotent: %+v", receiver)
+	}
+}
+
+// TestRestore: a restore adopts the node's own journaled entry when visible,
+// falls back to the pristine ledger when not, and in both cases credits the
+// transfers the checkpoint proves were in flight toward it.
+func TestRestore(t *testing.T) {
+	t.Parallel()
+	sender := NewState(2, 0, 100)
+	sender.Transfer(1, 25)
+
+	self := NewState(2, 1, 100)
+	self.Transfer(0, 10)
+	st := Restore(vec(sender, self), 1, 2, 100)
+	if st.Balance != 100-10+25 || st.Sent[0] != 10 || st.Recv[0] != 25 {
+		t.Fatalf("restore from own entry: %+v", st)
+	}
+
+	st = Restore(vec(sender, nil), 1, 2, 100)
+	if st.Balance != 100+25 || st.Sent[0] != 0 || st.Recv[0] != 25 {
+		t.Fatalf("restore from bottom: %+v", st)
+	}
+}
+
+// TestCheckSnapshotConsistent: a cut with money in flight, a bottom entry,
+// and exact conservation passes.
+func TestCheckSnapshotConsistent(t *testing.T) {
+	t.Parallel()
+	a := NewState(3, 0, 100)
+	a.Transfer(1, 40) // 40 in flight toward node 1
+	b := NewState(3, 1, 100)
+	if v := CheckSnapshot(vec(a, b, nil), 3, 100); v != nil {
+		t.Fatalf("consistent cut rejected: %v", v)
+	}
+	b.Recv[0], b.Balance = 40, 140 // credit landed
+	if v := CheckSnapshot(vec(a, b, nil), 3, 100); v != nil {
+		t.Fatalf("post-credit cut rejected: %v", v)
+	}
+}
+
+// TestCheckSnapshotViolations: each way a cut can be inconsistent yields a
+// RuleCheckpointConsistent violation whose detail names the failure.
+func TestCheckSnapshotViolations(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		snap   func() types.RegVector
+		detail string
+	}{
+		{"received-before-sent", func() types.RegVector {
+			// The receiver was credited 40 the sender's entry doesn't show:
+			// the snapshot mixed a fresh receiver with a stale sender.
+			a := NewState(2, 0, 100)
+			b := NewState(2, 1, 100)
+			b.Recv[0], b.Balance = 40, 140
+			return vec(a, b)
+		}, "inconsistent cut"},
+		{"unbalanced-ledger", func() types.RegVector {
+			a := NewState(2, 0, 100)
+			a.Balance = 120 // minted out of thin air, counters untouched
+			return vec(a, NewState(2, 1, 100))
+		}, "does not reconcile"},
+		{"negative-balance", func() types.RegVector {
+			a := NewState(2, 0, 100)
+			a.Transfer(1, 150)
+			return vec(a, NewState(2, 1, 100))
+		}, "negative balance"},
+		{"wrong-initial", func() types.RegVector {
+			return vec(NewState(2, 0, 999), NewState(2, 1, 100))
+		}, "initial"},
+		{"undecodable-entry", func() types.RegVector {
+			v := vec(NewState(2, 0, 100), NewState(2, 1, 100))
+			v[1].Val = types.Value("v17") // generic workload value, not a ledger
+			return v
+		}, "not a ledger"},
+		{"short-snapshot", func() types.RegVector {
+			return vec(NewState(2, 0, 100))
+		}, "covers"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			v := CheckSnapshot(tc.snap(), 2, 100)
+			if v == nil {
+				t.Fatal("inconsistent cut accepted")
+			}
+			if v.Rule != history.RuleCheckpointConsistent {
+				t.Fatalf("rule = %q, want %q", v.Rule, history.RuleCheckpointConsistent)
+			}
+			if !strings.Contains(v.Detail, tc.detail) {
+				t.Fatalf("detail %q does not mention %q", v.Detail, tc.detail)
+			}
+		})
+	}
+}
+
+// TestCheckOps: the history-level sweep flags a returned snapshot that is an
+// inconsistent cut and a returned write that journals an unbalanced ledger,
+// while ignoring operations that never returned.
+func TestCheckOps(t *testing.T) {
+	t.Parallel()
+	good := NewState(2, 0, 100)
+	bad := NewState(2, 0, 100)
+	bad.Balance = 777
+
+	if v := CheckOps([]*history.Op{
+		{Node: 0, Kind: history.KindWrite, Returned: true, WriteIndex: 1, WriteValue: good.Encode()},
+		{Node: 0, Kind: history.KindWrite, Returned: false, WriteIndex: 2, WriteValue: bad.Encode()},
+		{Node: 1, Kind: history.KindSnapshot, Returned: true, Snapshot: vec(good, NewState(2, 1, 100))},
+	}, 2, 100); v != nil {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+
+	v := CheckOps([]*history.Op{
+		{Node: 0, Kind: history.KindWrite, Returned: true, WriteIndex: 1, WriteValue: bad.Encode()},
+	}, 2, 100)
+	if v == nil || v.Rule != history.RuleCheckpointConsistent {
+		t.Fatalf("unbalanced journaled write not flagged: %v", v)
+	}
+
+	inconsistent := vec(NewState(2, 0, 100), NewState(2, 1, 100))
+	inconsistent[1].Val = types.Value("bank|100|140|0,0|40,0")
+	v = CheckOps([]*history.Op{
+		{Node: 1, Kind: history.KindSnapshot, Returned: true, Snapshot: inconsistent},
+	}, 2, 100)
+	if v == nil || v.Rule != history.RuleCheckpointConsistent {
+		t.Fatalf("inconsistent returned snapshot not flagged: %v", v)
+	}
+}

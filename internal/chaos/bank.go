@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"selfstabsnap/internal/bank"
+	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/history"
+	"selfstabsnap/internal/simclock"
+	"selfstabsnap/internal/types"
+)
+
+// BankSpec parameterises the checkpoint/restore bank workload
+// (Config.Bank).
+type BankSpec struct {
+	// Initial is every node's starting bitcake balance (default 1000).
+	Initial int64 `json:"initial,omitempty"`
+	// CheckpointEvery is how many workload iterations pass between
+	// checkpoints (default 4).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+func (s BankSpec) withDefaults() BankSpec {
+	if s.Initial == 0 {
+		s.Initial = 1000
+	}
+	if s.CheckpointEvery == 0 {
+		s.CheckpointEvery = 4
+	}
+	return s
+}
+
+// bankWorker is node i's bank loop: journal transfers into the register,
+// checkpoint via snapshots, and — after the fault driver completes a
+// detectable restart — discard in-memory state and restore from the
+// latest checkpoint.
+//
+// Under a plain crash (undetectable restart) the ledger deliberately
+// survives in memory: the node cannot tell it restarted, so it keeps
+// journaling its cumulative state, which is exactly the paper's model.
+// Only a skewed restart sets restorePending, and the recovery merge the
+// cluster performed first guarantees the checkpoint snapshot already
+// contains everything this node ever surfaced to any peer — so a restore
+// never rolls back a transfer some snapshot could have credited.
+func bankWorker(cfg Config, clk simclock.Clock, cluster *core.Cluster,
+	rec *history.Recorder, stop simclock.Event, i int,
+	restorePending *atomic.Bool, writes, snaps, restores *atomic.Int64) {
+	spec := cfg.Bank.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
+	st := bank.NewState(cfg.N, i, spec.Initial)
+	snapshot := func() (types.RegVector, bool) {
+		end := rec.BeginSnapshot(i)
+		snap, err := cluster.SnapshotObject(i, 0)
+		if err != nil {
+			return nil, false
+		}
+		end(snap)
+		snaps.Add(1)
+		return snap, true
+	}
+	for j := 0; !stop.Fired(); j++ {
+		if restorePending.Swap(false) {
+			// Detectable restart: volatile state is gone. Rebuild the
+			// ledger from a fresh checkpoint (post-merge, so it reflects
+			// every surfaced journal entry). If the snapshot fails —
+			// e.g. the schedule downs the node again — re-arm and retry.
+			if snap, ok := snapshot(); ok {
+				st = bank.Restore(snap, i, cfg.N, spec.Initial)
+				restores.Add(1)
+			} else {
+				restorePending.Store(true)
+			}
+		} else if j%spec.CheckpointEvery == spec.CheckpointEvery-1 {
+			// Periodic checkpoint: the snapshot credits any transfers it
+			// proves were sent here but not yet received.
+			if snap, ok := snapshot(); ok {
+				st.Reconcile(snap)
+			}
+		}
+		// Transfer up to 3 bitcakes to a random peer when funds allow.
+		if st.Balance > 0 && cfg.N > 1 {
+			peer := r.Intn(cfg.N - 1)
+			if peer >= i {
+				peer++
+			}
+			amt := 1 + r.Int63n(3)
+			if amt > st.Balance {
+				amt = st.Balance
+			}
+			st.Transfer(peer, amt)
+		}
+		v := st.Encode()
+		end := rec.BeginWrite(i, v)
+		if err := cluster.WriteObject(i, 0, v); err == nil {
+			end()
+			writes.Add(1)
+		}
+		if think := cfg.MaxThink; think > 0 {
+			clk.Sleep(time.Duration(r.Int63n(int64(think))))
+		}
+	}
+}

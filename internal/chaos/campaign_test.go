@@ -64,7 +64,10 @@ func TestMinimizeSchedulePassingRun(t *testing.T) {
 		Duration: 60 * time.Millisecond, CrashRate: 30,
 		Virtual: true,
 	}
-	sched := GenSchedule(cfg)
+	sched, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sched) == 0 {
 		t.Fatal("empty schedule at these rates")
 	}

@@ -44,7 +44,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"selfstabsnap/internal/bank"
 	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/faults"
 	"selfstabsnap/internal/history"
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/simclock"
@@ -79,6 +81,34 @@ type Config struct {
 	PartitionRate  float64 // cut a minority node off, heal shortly after
 	AckCorruptRate float64 // trash a node's delta-gossip ack table (soft state)
 	Corrupt        bool    // one transient fault before the checked phase
+
+	// Hostile-topology nemeses. WAN, when non-nil, replaces the uniform
+	// Adversary with an asymmetric per-directed-link latency/loss matrix
+	// built deterministically from Seed (links the matrix does not cover
+	// fall back to Adversary). Flapping adds a periodic cut/heal partition
+	// train; SlowNodeRate inflates one node's links by SlowNodeFactor
+	// (default 8) for a bounded window without ever counting the node as
+	// crashed; SkewedRestartRate crashes a node and later performs a
+	// detectable restart whose recovery merge lags by a bounded
+	// virtual-clock skew, at most MaxSkew (0 = network-flush window +
+	// 10ms). GenSchedule rejects — never clamps — configurations outside
+	// the legal envelope.
+	WAN               *faults.WANSpec
+	Flapping          *FlappingSpec
+	SlowNodeRate      float64
+	SlowNodeFactor    float64
+	SkewedRestartRate float64
+	MaxSkew           time.Duration
+
+	// Bank, when non-nil, replaces the generic workload with the
+	// checkpoint/restore bank: every node journals bitcake transfers into
+	// its register, checkpoints via snapshots, and restores from the
+	// latest checkpoint after a detectable (skewed) restart. The recorded
+	// history is additionally checked for checkpoint consistency — every
+	// snapshot must decode to a conserving cut (bank.CheckOps). Requires
+	// Objects == 1 and is incompatible with Corrupt (a transient fault
+	// may legally fabricate non-bank register contents).
+	Bank *BankSpec
 
 	// Schedule, when non-nil, replaces the generated fault schedule —
 	// used to replay a stored schedule or test a minimized one. An empty
@@ -124,6 +154,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Objects <= 0 {
 		cfg.Objects = 1
 	}
+	if cfg.SlowNodeFactor == 0 {
+		cfg.SlowNodeFactor = 8
+	}
 	return cfg
 }
 
@@ -135,12 +168,15 @@ type Stats struct {
 	Crashes     int64
 	Partitions  int64
 	AckCorrupts int64
+	Flaps       int64
+	SlowNodes   int64
+	Restarts    int64 // detectable (skewed) restarts completed
 }
 
 // String renders the stats on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("t=%v writes=%d snapshots=%d crashes=%d partitions=%d ackcorrupts=%d",
-		s.Elapsed, s.Writes, s.Snapshots, s.Crashes, s.Partitions, s.AckCorrupts)
+	return fmt.Sprintf("t=%v writes=%d snapshots=%d crashes=%d partitions=%d ackcorrupts=%d flaps=%d slow=%d restarts=%d",
+		s.Elapsed, s.Writes, s.Snapshots, s.Crashes, s.Partitions, s.AckCorrupts, s.Flaps, s.SlowNodes, s.Restarts)
 }
 
 // Result summarises a chaos run.
@@ -151,6 +187,10 @@ type Result struct {
 	Resumes     int64
 	Partitions  int64
 	AckCorrupts int64
+	Flaps       int64
+	SlowNodes   int64
+	Restarts    int64 // detectable (skewed) restarts completed
+	Restores    int64 // bank checkpoints restored after a restart
 	RecoveryCyc int64 // cycles to invariant after the transient fault (if any)
 	Violation   *history.Violation
 
@@ -171,8 +211,8 @@ func (r Result) String() string {
 	if r.Violation != nil {
 		lin = r.Violation.Error()
 	}
-	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d ackcorrupts=%d recovery=%d cycles → %s",
-		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.AckCorrupts, r.RecoveryCyc, lin)
+	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d ackcorrupts=%d flaps=%d slow=%d restarts=%d restores=%d recovery=%d cycles → %s",
+		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.AckCorrupts, r.Flaps, r.SlowNodes, r.Restarts, r.Restores, r.RecoveryCyc, lin)
 }
 
 // Run executes one chaos schedule. It returns an error only for setup
@@ -182,8 +222,27 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("chaos: need N ≥ 3")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Bank != nil {
+		switch {
+		case cfg.Corrupt:
+			return Result{}, fmt.Errorf("%w: incompatible with transient corruption (a corrupted register may legally hold non-bank contents)", ErrBankSpec)
+		case cfg.Objects != 1:
+			return Result{}, fmt.Errorf("%w: requires exactly one object, got %d", ErrBankSpec, cfg.Objects)
+		case cfg.Bank.Initial < 0 || cfg.Bank.CheckpointEvery < 0:
+			return Result{}, fmt.Errorf("%w: negative Initial or CheckpointEvery", ErrBankSpec)
+		}
+	}
+	if cfg.WAN != nil {
+		if err := cfg.WAN.Validate(cfg.N); err != nil {
+			return Result{}, err
+		}
+	}
 	if cfg.Schedule == nil {
-		cfg.Schedule = GenSchedule(cfg)
+		sched, err := GenSchedule(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.Schedule = sched
 	}
 	if !cfg.Virtual {
 		return run(cfg, simclock.Real())
@@ -207,9 +266,14 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		hasher = newTraceHasher()
 		hook = hasher
 	}
+	var links netsim.LinkMatrix
+	if cfg.WAN != nil {
+		links = cfg.WAN.Matrix(cfg.N, cfg.Seed)
+	}
 	cluster, err := core.NewCluster(core.Config{
 		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
 		Adversary:      cfg.Adversary,
+		Links:          links,
 		Objects:        cfg.Objects,
 		LoopInterval:   time.Millisecond,
 		RetxInterval:   3 * time.Millisecond,
@@ -274,9 +338,13 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	// does NOT hold after a transient fault (ts is arbitrary) nor when
 	// crashes can interrupt Algorithm 2/3's deferred writes — those runs
 	// fall back to the index-free checks (comparability + real time).
+	// A skewed restart additionally resets the node's timestamp to the
+	// merged peer maximum, so write indices and algorithm timestamps
+	// diverge for every algorithm — those schedules always fall back.
 	syncInstall := cfg.Algorithm == core.NonBlockingDG ||
 		cfg.Algorithm == core.NonBlockingSS || cfg.Algorithm == core.StackedABD
-	fullCheck := !cfg.Corrupt && (syncInstall || !scheduleHasCrash(cfg.Schedule))
+	fullCheck := !cfg.Corrupt && (syncInstall || !scheduleHasCrash(cfg.Schedule)) &&
+		!scheduleHas(cfg.Schedule, FaultSkewedRestart)
 
 	stop := clk.NewEvent()
 	wg := clk.NewGroup()
@@ -286,6 +354,10 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	// fire immediately so no workload worker stays wedged behind a
 	// partition that would never heal.
 	var crashes, resumes, partitions, ackCorrupts atomic.Int64
+	var flaps, slowNodes, restarts, restores atomic.Int64
+	// restorePending[i] tells node i's bank worker a detectable restart
+	// completed: discard in-memory state and restore from a checkpoint.
+	restorePending := make([]atomic.Bool, cfg.N)
 	acts := timeline(cfg.Schedule)
 	start := clk.Now()
 	wg.Add(1)
@@ -310,6 +382,15 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 					if cluster.CorruptAckTable(e.Node) == nil {
 						ackCorrupts.Add(1)
 					}
+				case FaultFlap:
+					cluster.Network().Isolate(e.Node, true)
+					flaps.Add(1)
+				case FaultSlowNode:
+					cluster.Network().SetNodeSlowdown(e.Node, cfg.SlowNodeFactor)
+					slowNodes.Add(1)
+				case FaultSkewedRestart:
+					cluster.Crash(e.Node)
+					crashes.Add(1)
 				}
 			case applied[a.ev]:
 				switch e.Kind {
@@ -321,6 +402,23 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 				case FaultAckCorrupt:
 					// Nothing to heal: the staleness window flushes the
 					// corrupted entries on its own.
+				case FaultFlap:
+					cluster.Network().Isolate(e.Node, false)
+				case FaultSlowNode:
+					cluster.Network().SetNodeSlowdown(e.Node, 1)
+				case FaultSkewedRestart:
+					// Detectable restart with recovery merge. The whole
+					// crash→drain→reset→merge→resume sequence runs without
+					// yielding the virtual-clock token, so it is atomic in
+					// virtual time. Algorithms without recovery hooks
+					// degrade to a plain resume (undetectable restart).
+					if cluster.SkewedRestart(e.Node) == nil {
+						restarts.Add(1)
+						restorePending[e.Node].Store(true)
+					} else {
+						cluster.Resume(e.Node)
+					}
+					resumes.Add(1)
 				}
 			}
 		}
@@ -346,11 +444,20 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		}
 	})
 
-	// Workload: one worker per node.
+	// Workload: one worker per node — the generic write/snapshot mix, or
+	// the checkpoint/restore bank when Config.Bank is set.
 	var writes, snaps atomic.Int64
 	for i := 0; i < cfg.N; i++ {
 		i := i
 		wg.Add(1)
+		if cfg.Bank != nil {
+			clk.Go(fmt.Sprintf("chaos-bank%d", i), func() {
+				defer wg.Done()
+				bankWorker(cfg, clk, cluster, recs[0], stop, i,
+					&restorePending[i], &writes, &snaps, &restores)
+			})
+			continue
+		}
 		clk.Go(fmt.Sprintf("chaos-worker%d", i), func() {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*31))
@@ -403,6 +510,9 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 					Crashes:     crashes.Load(),
 					Partitions:  partitions.Load(),
 					AckCorrupts: ackCorrupts.Load(),
+					Flaps:       flaps.Load(),
+					SlowNodes:   slowNodes.Load(),
+					Restarts:    restarts.Load(),
 				})
 			}
 		})
@@ -413,6 +523,7 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	wg.Wait()
 	for i := 0; i < cfg.N; i++ {
 		cluster.Network().Isolate(i, false)
+		cluster.Network().SetNodeSlowdown(i, 1)
 		cluster.Resume(i)
 	}
 
@@ -422,6 +533,10 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	res.Resumes = resumes.Load()
 	res.Partitions = partitions.Load()
 	res.AckCorrupts = ackCorrupts.Load()
+	res.Flaps = flaps.Load()
+	res.SlowNodes = slowNodes.Load()
+	res.Restarts = restarts.Load()
+	res.Restores = restores.Load()
 
 	// Each object's history is checked independently — the first violating
 	// object reports. Cross-object ordering is deliberately unchecked:
@@ -438,6 +553,11 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 			break
 		}
 	}
+	// The bank adds its application-level invariant on top: every snapshot
+	// in the history must decode to a conserving consistent cut.
+	if res.Violation == nil && cfg.Bank != nil {
+		res.Violation = bank.CheckOps(recs[0].Ops(), cfg.N, cfg.Bank.withDefaults().Initial)
+	}
 
 	// Hash only once the cluster is fully shut down, so the trace digest
 	// covers the complete (and, under the virtual clock, deterministic)
@@ -450,11 +570,17 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	return res, nil
 }
 
-// scheduleHasCrash reports whether an explicit schedule contains a crash —
-// replayed schedules must pick the same checker the generating run used.
+// scheduleHasCrash reports whether an explicit schedule contains a crash
+// (including the crash phase of a skewed restart) — replayed schedules must
+// pick the same checker the generating run used.
 func scheduleHasCrash(evs []FaultEvent) bool {
+	return scheduleHas(evs, FaultCrash) || scheduleHas(evs, FaultSkewedRestart)
+}
+
+// scheduleHas reports whether the schedule contains an event of kind k.
+func scheduleHas(evs []FaultEvent, k FaultKind) bool {
 	for _, e := range evs {
-		if e.Kind == FaultCrash {
+		if e.Kind == k {
 			return true
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/faults"
 )
 
 // chaosShards reads the CHAOS_SHARDS override — the CI determinism matrix
@@ -43,6 +44,19 @@ type corpusEntry struct {
 	Shards     int     `json:"shards,omitempty"`  // dispatch shards (0 = classic single dispatcher)
 	Objects    int     `json:"objects,omitempty"` // hosted snapshot objects per node (0 = 1)
 	DurationMS int64   `json:"duration_ms"`
+
+	// Hostile-topology nemeses (all zero = classic uniform network).
+	WANRegions    int     `json:"wan_regions,omitempty"`    // >0 installs an asymmetric WAN link matrix
+	WANCrossUS    int64   `json:"wan_cross_us,omitempty"`   // cross-region delay bound, µs
+	WANDrop       float64 `json:"wan_drop,omitempty"`       // cross-region drop probability
+	FlapCount     int     `json:"flap_count,omitempty"`     // nodes on the flapping-partition train
+	FlapPeriodMS  int64   `json:"flap_period_ms,omitempty"` // flap period, ms
+	FlapDuty      float64 `json:"flap_duty,omitempty"`      // fraction of each period spent cut
+	SlowNode      float64 `json:"slow_node,omitempty"`      // slow-but-alive windows per second
+	SlowFactor    float64 `json:"slow_factor,omitempty"`    // delay inflation while slowed
+	SkewedRestart float64 `json:"skewed_restart,omitempty"` // detectable restarts per second
+	Bank          bool    `json:"bank,omitempty"`           // checkpoint/restore bank workload
+	BankInitial   int64   `json:"bank_initial,omitempty"`   // starting balance (0 = default)
 }
 
 var corpusAlgorithms = map[string]core.Algorithm{
@@ -76,6 +90,26 @@ func (e corpusEntry) config() (Config, error) {
 	}
 	if e.Hostile {
 		cfg.Adversary = hostileNet()
+	}
+	if e.WANRegions > 0 {
+		cfg.WAN = &faults.WANSpec{
+			Regions:  e.WANRegions,
+			Cross:    time.Duration(e.WANCrossUS) * time.Microsecond,
+			DropProb: e.WANDrop,
+		}
+	}
+	if e.FlapCount > 0 {
+		cfg.Flapping = &FlappingSpec{
+			Count:  e.FlapCount,
+			Period: time.Duration(e.FlapPeriodMS) * time.Millisecond,
+			Duty:   e.FlapDuty,
+		}
+	}
+	cfg.SlowNodeRate = e.SlowNode
+	cfg.SlowNodeFactor = e.SlowFactor
+	cfg.SkewedRestartRate = e.SkewedRestart
+	if e.Bank {
+		cfg.Bank = &BankSpec{Initial: e.BankInitial}
 	}
 	return cfg, nil
 }

@@ -179,7 +179,11 @@ func TestVirtualRunFast(t *testing.T) {
 func TestGenScheduleDeterministicAndSound(t *testing.T) {
 	t.Parallel()
 	cfg := detConfig(41)
-	a, b := GenSchedule(cfg), GenSchedule(cfg)
+	a, errA := GenSchedule(cfg)
+	b, errB := GenSchedule(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("GenSchedule failed: %v / %v", errA, errB)
+	}
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("generator not deterministic:\n%v\n%v", a, b)
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,6 +23,22 @@ const (
 	// staleness window flushes on its own — so Down is only the nominal
 	// bookkeeping the timeline requires.
 	FaultAckCorrupt
+	// FaultFlap cuts the node off like FaultPartition, but as one pulse of a
+	// periodic cut/heal train (FlappingSpec) instead of a one-shot draw —
+	// the link keeps coming back just long enough to look healthy.
+	FaultFlap
+	// FaultSlowNode inflates the delay of every link touching the node for
+	// the Down window. The node is slow-but-alive: it keeps taking steps, is
+	// never counted toward the ≤f down guard, and needs no resume — the heal
+	// simply restores its links to normal speed.
+	FaultSlowNode
+	// FaultSkewedRestart crashes the node at At and performs a *detectable*
+	// restart Down later: local state is reset, the inbox drained, and the
+	// recovered register rebuilt by merging every peer's view. Down is the
+	// virtual-clock offset by which the node's post-recovery timers lag —
+	// bounded below by the network-flush window so everything the crashed
+	// node ever surfaced has landed before the merge.
+	FaultSkewedRestart
 )
 
 // String names the kind.
@@ -33,9 +50,117 @@ func (k FaultKind) String() string {
 		return "partition"
 	case FaultAckCorrupt:
 		return "ack-corrupt"
+	case FaultFlap:
+		return "flap"
+	case FaultSlowNode:
+		return "slow-node"
+	case FaultSkewedRestart:
+		return "skewed-restart"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
+}
+
+// Envelope errors: GenSchedule rejects configurations outside a nemesis's
+// legal envelope instead of silently clamping them — a schedule that cannot
+// keep the harness sound is a caller bug, not something to repair.
+var (
+	// ErrFlapSpec rejects a malformed FlappingSpec (count, duty or period
+	// out of range).
+	ErrFlapSpec = errors.New("chaos: invalid flapping spec")
+	// ErrFlapEnvelope rejects a flap train whose pulses overlap so much
+	// that more than f = ⌊(N−1)/2⌋ nodes would be cut off at once.
+	ErrFlapEnvelope = errors.New("chaos: flapping schedule exceeds the ≤f down guard")
+	// ErrSlowSpec rejects a slow-node factor below 1 (a "slowdown" that
+	// speeds the node up breaks the delay-bound reasoning).
+	ErrSlowSpec = errors.New("chaos: invalid slow-node spec")
+	// ErrSkewEnvelope rejects a MaxSkew inside the network-flush window:
+	// a restart merge taken before in-flight messages land could miss
+	// writes that later surface at peers.
+	ErrSkewEnvelope = errors.New("chaos: MaxSkew inside the network-flush window")
+	// ErrBankSpec rejects a bank workload combined with options that make
+	// its conservation invariant meaningless.
+	ErrBankSpec = errors.New("chaos: invalid bank workload spec")
+)
+
+// FlappingSpec describes a periodic flapping-partition train: Count nodes
+// (ids 0..Count−1) are each cut off for Duty·Period out of every Period,
+// with their pulses staggered Period/Count apart. Flapping stretches the
+// paper's fairness assumption — every channel still delivers infinitely
+// often, but in bursts an adversary times against the protocol's
+// retransmission cadence.
+type FlappingSpec struct {
+	// Count is how many nodes flap (1..N).
+	Count int `json:"count"`
+	// Period of one cut/heal cycle (default 50ms).
+	Period time.Duration `json:"period,omitempty"`
+	// Duty is the cut fraction of each period, in (0,1) (default 0.4).
+	Duty float64 `json:"duty,omitempty"`
+	// Start offsets the first pulse (default one Period).
+	Start time.Duration `json:"start,omitempty"`
+}
+
+func (s FlappingSpec) withDefaults() FlappingSpec {
+	if s.Period <= 0 {
+		s.Period = 50 * time.Millisecond
+	}
+	if s.Duty == 0 {
+		s.Duty = 0.4
+	}
+	if s.Start <= 0 {
+		s.Start = s.Period
+	}
+	return s
+}
+
+func (s FlappingSpec) validate(n int) error {
+	switch {
+	case s.Count < 1 || s.Count > n:
+		return fmt.Errorf("%w: Count=%d must be in 1..N (N=%d)", ErrFlapSpec, s.Count, n)
+	case s.Duty < 0 || s.Duty >= 1:
+		return fmt.Errorf("%w: Duty=%v must be in (0,1)", ErrFlapSpec, s.Duty)
+	case s.Period < 0:
+		return fmt.Errorf("%w: negative Period", ErrFlapSpec)
+	case s.Start < 0:
+		return fmt.Errorf("%w: negative Start", ErrFlapSpec)
+	}
+	return nil
+}
+
+// train expands the spec into its flap pulses over the run duration. No rng
+// is involved: the train is a pure function of the spec, so it cannot
+// disturb the seeded draw stream of the rated fault classes.
+func (s FlappingSpec) train(duration time.Duration) []FaultEvent {
+	s = s.withDefaults()
+	down := time.Duration(float64(s.Period) * s.Duty)
+	var evs []FaultEvent
+	for k := 0; k < s.Count; k++ {
+		phase := s.Start + time.Duration(k)*s.Period/time.Duration(s.Count)
+		for at := phase; at <= duration; at += s.Period {
+			evs = append(evs, FaultEvent{At: at, Kind: FaultFlap, Node: k, Down: down})
+		}
+	}
+	return evs
+}
+
+// maxOccupancy is the largest number of nodes the train cuts off at any one
+// instant. Occupancy is piecewise constant, changing only at pulse starts,
+// so checking those suffices.
+func (s FlappingSpec) maxOccupancy(duration time.Duration) int {
+	evs := s.train(duration)
+	max := 0
+	for _, e := range evs {
+		n := 0
+		for _, o := range evs {
+			if o.At <= e.At && e.At < o.At+o.Down {
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // FaultEvent is one entry of a reified fault schedule: at offset At from
@@ -60,43 +185,161 @@ func (e FaultEvent) String() string {
 // 5ms cadence the online fault driver used before schedules were reified.
 const scheduleTick = 5 * time.Millisecond
 
+// flushWindow bounds how long a message (plus a retransmission and local
+// processing) can stay in flight under the run's network configuration —
+// the widest delay ceiling of the global adversary or the WAN matrix, plus
+// slack for the 3ms retransmission timer and node loop. Slow-node inflation
+// is deliberately excluded: restart quiet windows keep slow intervals out
+// by padding them instead (see GenSchedule).
+func (cfg Config) flushWindow() time.Duration {
+	d := cfg.Adversary.MaxDelay
+	if cfg.Adversary.MinDelay > d {
+		d = cfg.Adversary.MinDelay
+	}
+	if cfg.WAN != nil {
+		if c := cfg.WAN.MaxCeiling(); c > d {
+			d = c
+		}
+	}
+	return d + 5*time.Millisecond
+}
+
+// span is a half-open interval [from, to) of schedule time, tagged with the
+// node it downs (node < 0 for node-less disturbances).
+type span struct {
+	from, to time.Duration
+	node     int
+}
+
+func overlaps(list []span, from, to time.Duration) bool {
+	for _, s := range list {
+		if from < s.to && s.from < to {
+			return true
+		}
+	}
+	return false
+}
+
 // GenSchedule derives the fault schedule Run executes for cfg — a pure,
-// deterministic function of (Seed, N, CrashRate, PartitionRate,
-// AckCorruptRate, Duration). Rates are mean events per second, drawn at a
-// 5ms tick. The generator enforces the harness's soundness constraint: at
-// most f = ⌊(N−1)/2⌋ nodes are crashed or partitioned away at any instant,
-// so a connected live majority always exists and every operation
-// eventually completes. Ack-table corruption neither downs a node nor
-// counts against the f bound — the table is advisory soft state.
-func GenSchedule(cfg Config) []FaultEvent {
+// deterministic function of (Seed, N, rates, Flapping, MaxSkew, Duration).
+// Rates are mean events per second, drawn at a 5ms tick. The generator
+// enforces the harness's soundness constraints and returns an envelope
+// error (ErrFlapSpec, ErrFlapEnvelope, ErrSlowSpec, ErrSkewEnvelope) for a
+// configuration it cannot keep sound:
+//
+//   - at most f = ⌊(N−1)/2⌋ nodes are crashed, partitioned or flapped away
+//     at any instant, so a connected live majority always exists and every
+//     operation eventually completes. Ack-table corruption and slow nodes
+//     count toward nothing — the node keeps running;
+//   - a skewed restart only lands inside a quiet window: its padded span
+//     [At−flush, At+Down+flush] overlaps no other fault interval (slow
+//     intervals padded by factor×flush), and later draws avoid the window.
+//     Together with Down ≥ flushWindow this guarantees that everything the
+//     restarting node ever surfaced to any peer has landed before the
+//     recovery merge, so the merged state never regresses.
+//
+// Configurations without the hostile nemeses draw the exact rng stream —
+// and therefore generate the exact schedule — they always did.
+func GenSchedule(cfg Config) ([]FaultEvent, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	f := (cfg.N - 1) / 2
-	downUntil := make([]time.Duration, cfg.N) // zero = up
-	downAt := func(at time.Duration) int {
+
+	var flaps []FaultEvent
+	if cfg.Flapping != nil {
+		if err := cfg.Flapping.validate(cfg.N); err != nil {
+			return nil, err
+		}
+		if occ := cfg.Flapping.maxOccupancy(cfg.Duration); occ > f {
+			return nil, fmt.Errorf("%w: %d nodes down at once, f=%d (N=%d)",
+				ErrFlapEnvelope, occ, f, cfg.N)
+		}
+		flaps = cfg.Flapping.train(cfg.Duration)
+	}
+	if cfg.SlowNodeRate > 0 && cfg.SlowNodeFactor < 1 {
+		return nil, fmt.Errorf("%w: SlowNodeFactor=%v must be ≥ 1", ErrSlowSpec, cfg.SlowNodeFactor)
+	}
+	flush := cfg.flushWindow()
+	skewMin, maxSkew := flush, cfg.MaxSkew
+	if cfg.SkewedRestartRate > 0 {
+		if maxSkew == 0 {
+			maxSkew = skewMin + 10*time.Millisecond
+		} else if maxSkew <= skewMin {
+			return nil, fmt.Errorf("%w: MaxSkew=%v must exceed the %v flush window",
+				ErrSkewEnvelope, cfg.MaxSkew, skewMin)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	downUntil := make([]time.Duration, cfg.N) // zero = up (rated faults only)
+	slowUntil := make([]time.Duration, cfg.N)
+	// downs holds every interval some node is down — rated events as they
+	// are placed (their starts never postdate the current tick) plus the
+	// whole flap train up front, since flap pulses are known ahead of time
+	// and a crash placed now must stay within the f bound even when a pulse
+	// starts mid-crash.
+	downs := make([]span, 0, len(flaps))
+	slows := []span(nil) // slow intervals, padded by factor × flush
+	quiet := []span(nil) // restart windows later draws must not disturb
+	for _, e := range flaps {
+		downs = append(downs, span{e.At, e.At + e.Down, e.Node})
+	}
+	// occMax is the largest number of *distinct* nodes down anywhere in
+	// [from, to). Occupancy changes only at span starts, so sampling from
+	// and each start inside the window is exact.
+	occAt := func(t time.Duration) int {
 		n := 0
-		for _, u := range downUntil {
-			if u > at {
+		seen := make([]bool, cfg.N)
+		for _, s := range downs {
+			if s.from <= t && t < s.to && !seen[s.node] {
+				seen[s.node] = true
 				n++
 			}
 		}
 		return n
 	}
+	occMax := func(from, to time.Duration) int {
+		max := occAt(from)
+		for _, s := range downs {
+			if s.from > from && s.from < to {
+				if n := occAt(s.from); n > max {
+					max = n
+				}
+			}
+		}
+		return max
+	}
+	flapDown := func(id int, from, to time.Duration) bool {
+		for _, e := range flaps {
+			if e.Node == id && from < e.At+e.Down && e.At < to {
+				return true
+			}
+		}
+		return false
+	}
+
 	p := scheduleTick.Seconds()
 	var evs []FaultEvent
 	for at := scheduleTick; at <= cfg.Duration; at += scheduleTick {
 		if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate*p {
-			if id := rng.Intn(cfg.N); downUntil[id] <= at && downAt(at) < f {
+			if id := rng.Intn(cfg.N); downUntil[id] <= at && occMax(at, at+scheduleTick) < f {
 				down := time.Duration(1+rng.Intn(20)) * time.Millisecond
-				evs = append(evs, FaultEvent{At: at, Kind: FaultCrash, Node: id, Down: down})
-				downUntil[id] = at + down
+				if !flapDown(id, at, at+down) && occMax(at, at+down) < f &&
+					!overlaps(quiet, at, at+down) {
+					evs = append(evs, FaultEvent{At: at, Kind: FaultCrash, Node: id, Down: down})
+					downUntil[id] = at + down
+					downs = append(downs, span{at, at + down, id})
+				}
 			}
 		}
 		if cfg.PartitionRate > 0 && rng.Float64() < cfg.PartitionRate*p {
-			if id := rng.Intn(cfg.N); downUntil[id] <= at && downAt(at) < f {
+			if id := rng.Intn(cfg.N); downUntil[id] <= at && occMax(at, at+scheduleTick) < f {
 				heal := time.Duration(1+rng.Intn(15)) * time.Millisecond
-				evs = append(evs, FaultEvent{At: at, Kind: FaultPartition, Node: id, Down: heal})
-				downUntil[id] = at + heal
+				if !flapDown(id, at, at+heal) && occMax(at, at+heal) < f &&
+					!overlaps(quiet, at, at+heal) {
+					evs = append(evs, FaultEvent{At: at, Kind: FaultPartition, Node: id, Down: heal})
+					downUntil[id] = at + heal
+					downs = append(downs, span{at, at + heal, id})
+				}
 			}
 		}
 		if cfg.AckCorruptRate > 0 && rng.Float64() < cfg.AckCorruptRate*p {
@@ -105,8 +348,37 @@ func GenSchedule(cfg Config) []FaultEvent {
 			id := rng.Intn(cfg.N)
 			evs = append(evs, FaultEvent{At: at, Kind: FaultAckCorrupt, Node: id, Down: time.Millisecond})
 		}
+		if cfg.SlowNodeRate > 0 && rng.Float64() < cfg.SlowNodeRate*p {
+			// Slow-but-alive: no f-bound check, only per-node non-overlap.
+			// The padded span keeps restart windows clear of messages the
+			// slowdown can stretch up to factor × flush beyond the heal.
+			if id := rng.Intn(cfg.N); slowUntil[id] <= at {
+				down := time.Duration(5+rng.Intn(26)) * time.Millisecond
+				pad := time.Duration(float64(flush) * cfg.SlowNodeFactor)
+				if !overlaps(quiet, at, at+down+pad) {
+					evs = append(evs, FaultEvent{At: at, Kind: FaultSlowNode, Node: id, Down: down})
+					slowUntil[id] = at + down
+					slows = append(slows, span{at, at + down + pad, id})
+				}
+			}
+		}
+		if cfg.SkewedRestartRate > 0 && rng.Float64() < cfg.SkewedRestartRate*p {
+			if id := rng.Intn(cfg.N); downUntil[id] <= at && occAt(at) < f {
+				skew := skewMin + time.Duration(rng.Int63n(int64(maxSkew-skewMin)))
+				from, to := at-flush, at+skew+flush
+				if !overlaps(downs, from, to) && !overlaps(slows, from, to) &&
+					!overlaps(quiet, from, to) {
+					evs = append(evs, FaultEvent{At: at, Kind: FaultSkewedRestart, Node: id, Down: skew})
+					downUntil[id] = at + skew
+					downs = append(downs, span{at, at + skew, id})
+					quiet = append(quiet, span{from, to, id})
+				}
+			}
+		}
 	}
-	return evs
+	evs = append(evs, flaps...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs, nil
 }
 
 // action is one step of the flattened schedule timeline: event ev of the

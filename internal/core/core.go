@@ -119,6 +119,10 @@ type Config struct {
 	Seed int64
 	// Adversary configures packet loss/duplication/delay.
 	Adversary netsim.Adversary
+	// Links, when non-nil, assigns per-directed-link adversary profiles
+	// (asymmetric WAN latency classes, bandwidth-shaped links); links it
+	// does not cover fall back to Adversary. See netsim.LinkMatrix.
+	Links netsim.LinkMatrix
 	// LoopInterval and RetxInterval tune the node runtimes.
 	LoopInterval time.Duration
 	RetxInterval time.Duration
@@ -174,7 +178,14 @@ type objInstance struct {
 	// nil for algorithms without a self-stabilization contract.
 	state   func() (int64, int64, types.RegVector, []int64)
 	restart func() // detectable restart; nil if unsupported
-	closer  func()
+	// mergeReg folds an external register view into the instance — the
+	// recovery half of SkewedRestart; nil if unsupported.
+	mergeReg func(types.RegVector)
+	// adoptSNS raises the instance's snapshot sequence number above every
+	// pending-task entry peers still hold for it (Definition 1(iii)); nil
+	// when the algorithm has no such counter.
+	adoptSNS func(int64)
+	closer   func()
 	// Delta-gossip hooks; nil when the algorithm has no ack table.
 	ackCorrupt func(*rand.Rand)
 	ackStats   func() node.AckStats
@@ -236,6 +247,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Seed:      cfg.Seed,
 		InboxCap:  cfg.InboxCap,
 		Adversary: cfg.Adversary,
+		Links:     cfg.Links,
 		Trace:     cfg.Trace,
 		Clock:     clk,
 	})
@@ -267,6 +279,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if cfg.Algorithm == NonBlockingSS {
 				inst.corrupt = nd.Corrupt
 				inst.restart = nd.RestartDetectable
+				inst.mergeReg = nd.MergeReg
 				inst.state = func() (int64, int64, types.RegVector, []int64) {
 					st := nd.StateSummary()
 					return st.TS, 0, st.Reg, nil
@@ -284,6 +297,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			nd := deltasnap.New(i, net, deltasnap.Config{Delta: cfg.Delta, FullGossip: cfg.FullGossip, Runtime: ropt})
 			inst := objInstance{obj: nd, corrupt: nd.Corrupt, invariant: nd.LocalInvariantHolds, closer: nd.Close}
 			inst.restart = nd.RestartDetectable
+			inst.mergeReg = nd.MergeReg
+			inst.adoptSNS = nd.AdoptSNS
 			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS
@@ -542,6 +557,60 @@ func (c *Cluster) RestartDetectable(id int) error {
 	}
 	for o := range c.members[id].objs {
 		c.members[id].objs[o].restart()
+	}
+	return nil
+}
+
+// SkewedRestart performs a detectable restart with recovery at node id:
+// the node's program restarts with every variable re-initialised and its
+// channel content discarded (exactly RestartDetectable), and then — before
+// any other step can observe the reset — a recovery protocol restores the
+// register file from the entrywise union of every peer's current view, as
+// a restarting replica would recover from the replicated state. Control
+// state (snapshot sequence numbers, pending-task tables, ack tables,
+// timers) stays reset: the node's post-recovery timers fire phase-shifted
+// relative to the cluster, which is the nemesis's point. Writes that the
+// crashed node had installed but never propagated are genuinely lost —
+// they exist nowhere after the reset — so the recovered register never
+// regresses relative to anything any node can still surface.
+//
+// Under a virtual clock the restart+recovery pair is atomic: the calling
+// task holds the processor token throughout (no clock primitive is
+// crossed), so no snapshot can observe the pre-recovery reset state.
+func (c *Cluster) SkewedRestart(id int) error {
+	if id < 0 || id >= c.cfg.N {
+		return ErrUnknownNode
+	}
+	m := &c.members[id]
+	if m.objs[0].restart == nil || m.objs[0].mergeReg == nil {
+		return fmt.Errorf("%w: %s has no restart-with-recovery hooks", ErrNotCorruptible, c.cfg.Algorithm)
+	}
+	for o := range m.objs {
+		m.objs[o].restart()
+		merge := m.objs[o].mergeReg
+		var maxSNS int64
+		for j := range c.members {
+			if j == id {
+				continue
+			}
+			// Crashed peers' memories are readable too: any entry the
+			// restarting node ever propagated survives somewhere in the
+			// union, so recovery can only miss what is already lost
+			// everywhere.
+			if st := c.members[j].objs[o].state; st != nil {
+				_, _, reg, pndSNS := st()
+				merge(reg)
+				if len(pndSNS) > id && pndSNS[id] > maxSNS {
+					maxSNS = pndSNS[id]
+				}
+			}
+		}
+		// Definition 1(iii): sns_id must dominate every pndTsk_j[id].sns or
+		// a post-recovery snapshot collides with a stale cached result a
+		// peer still holds for the pre-crash task with the same number.
+		if adopt := m.objs[o].adoptSNS; adopt != nil && maxSNS > 0 {
+			adopt(maxSNS)
+		}
 	}
 	return nil
 }

@@ -762,6 +762,24 @@ func (nd *Node) RegSnapshot() types.RegVector {
 	return nd.reg.Share()
 }
 
+// AdoptSNS raises the node's own snapshot index to at least s, keeping its
+// own pending-task entry consistent (Definition 1 invariant (iii): sns_i
+// must dominate every pndTsk_j[i].sns). Recovery from a detectable restart
+// uses it so a fresh snapshot task can never collide with a pre-restart
+// index — peers still hold old pndTsk entries for this node, complete with
+// cached final results, and a colliding sns would let gossip hand one of
+// those stale vectors back as the "result" of the new task.
+func (nd *Node) AdoptSNS(s int64) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if s > nd.sns {
+		nd.sns = s
+	}
+	if nd.pndTsk[nd.id].sns != nd.sns {
+		nd.pndTsk[nd.id] = pnd{sns: nd.sns}
+	}
+}
+
 // MergeReg folds an external register vector in (MAXIDX gossip).
 func (nd *Node) MergeReg(r types.RegVector) {
 	nd.mu.Lock()

@@ -140,6 +140,25 @@ func (r *Recorder) Ops() []*Op {
 	return out
 }
 
+// The Rule names a Violation can carry. The strings are stable — they
+// appear in CI artifacts and corpus notes — so checkers reference these
+// constants instead of re-spelling them.
+const (
+	RuleWriteIndexing    = "write-indexing"
+	RuleContent          = "content"
+	RuleComparability    = "comparability"
+	RuleSnapshotRealtime = "snapshot-realtime"
+	RuleWriteVisibility  = "write-visibility"
+	RuleWriteFreshness   = "write-freshness"
+	// RuleCheckpointConsistent is fired by the bank checkpoint/restore
+	// checker (internal/bank): every restored or checkpointed global state
+	// must be a consistent cut — total bitcakes conserved, no transfer
+	// received before it was sent. It is an application-level consequence
+	// of snapshot atomicity, so a non-atomic snapshot surfaces here even
+	// when the register-level rules cannot see it.
+	RuleCheckpointConsistent = "checkpoint-consistent"
+)
+
 // Violation describes a linearizability failure.
 type Violation struct {
 	Rule   string
@@ -180,7 +199,7 @@ func CheckOps(ops []*Op) *Violation {
 		for j, w := range ws {
 			if w.WriteIndex != int64(j+1) {
 				return &Violation{
-					Rule:   "write-indexing",
+					Rule:   RuleWriteIndexing,
 					Detail: fmt.Sprintf("node %d write indices not consecutive at position %d (index %d)", k, j+1, w.WriteIndex),
 				}
 			}
@@ -195,19 +214,19 @@ func CheckOps(ops []*Op) *Violation {
 			case e.TS == 0:
 				if len(e.Val) != 0 {
 					return &Violation{
-						Rule:   "content",
+						Rule:   RuleContent,
 						Detail: fmt.Sprintf("snapshot at node %d has value %q with ts=0 for node %d", s.Node, e.Val, k),
 					}
 				}
 			case e.TS < 0 || e.TS > int64(len(ws)):
 				return &Violation{
-					Rule:   "content",
+					Rule:   RuleContent,
 					Detail: fmt.Sprintf("snapshot at node %d reports ts=%d for node %d which issued only %d writes", s.Node, e.TS, k, len(ws)),
 				}
 			default:
 				if w := ws[e.TS-1]; !w.WriteValue.Equal(e.Val) {
 					return &Violation{
-						Rule:   "content",
+						Rule:   RuleContent,
 						Detail: fmt.Sprintf("snapshot at node %d reports (%q,%d) for node %d but write %d wrote %q", s.Node, e.Val, e.TS, k, e.TS, w.WriteValue),
 					}
 				}
@@ -221,7 +240,7 @@ func CheckOps(ops []*Op) *Violation {
 			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
 			if !vi.LessEq(vj) && !vj.LessEq(vi) {
 				return &Violation{
-					Rule:   "comparability",
+					Rule:   RuleComparability,
 					Detail: fmt.Sprintf("snapshots %v (node %d) and %v (node %d) are incomparable", vi, snaps[i].Node, vj, snaps[j].Node),
 				}
 			}
@@ -237,7 +256,7 @@ func CheckOps(ops []*Op) *Violation {
 			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()
 			if !vi.LessEq(vj) {
 				return &Violation{
-					Rule:   "snapshot-realtime",
+					Rule:   RuleSnapshotRealtime,
 					Detail: fmt.Sprintf("snapshot %v returned before snapshot %v was invoked but is not ⪯ it", vi, vj),
 				}
 			}
@@ -250,13 +269,13 @@ func CheckOps(ops []*Op) *Violation {
 			for _, w := range ws {
 				if w.Returned && w.Return.Before(s.Invoke) && s.Snapshot[k].TS < w.WriteIndex {
 					return &Violation{
-						Rule:   "write-visibility",
+						Rule:   RuleWriteVisibility,
 						Detail: fmt.Sprintf("write %d of node %d returned before snapshot at node %d was invoked, but snapshot has ts=%d", w.WriteIndex, k, s.Node, s.Snapshot[k].TS),
 					}
 				}
 				if s.Return.Before(w.Invoke) && s.Snapshot[k].TS >= w.WriteIndex {
 					return &Violation{
-						Rule:   "write-freshness",
+						Rule:   RuleWriteFreshness,
 						Detail: fmt.Sprintf("snapshot at node %d returned before write %d of node %d was invoked, yet includes ts=%d", s.Node, w.WriteIndex, k, s.Snapshot[k].TS),
 					}
 				}

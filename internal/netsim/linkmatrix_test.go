@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"selfstabsnap/internal/wire"
+)
+
+// lossy is a profile that deterministically kills every transmission.
+func lossy() LinkProfile { return LinkProfile{Adversary: Adversary{DropProb: 1}} }
+
+// TestLinkMatrixSelfLink: a node's send to itself crosses the [i][i] entry
+// of the matrix — a lossy self-link kills self-delivery while the node's
+// other links stay perfect, and vice versa.
+func TestLinkMatrixSelfLink(t *testing.T) {
+	m := NewLinkMatrix(2)
+	m[0][0] = lossy()
+	n := New(Config{N: 2, Seed: 1, Links: m})
+	defer n.Close()
+	n.Send(0, 0, msg(wire.TGossip))
+	if got := n.Counters().Drops(); got != 1 {
+		t.Errorf("lossy self-link dropped %d of 1 sends", got)
+	}
+	n.Send(0, 1, msg(wire.TWrite)) // same sender, perfect cross link
+	if got, ok := n.Recv(1); !ok || got.Type != wire.TWrite {
+		t.Fatal("perfect [0][1] link did not deliver")
+	}
+	if n.Counters().Drops() != 1 {
+		t.Errorf("cross link shared the self-link's profile: drops = %d", n.Counters().Drops())
+	}
+}
+
+// TestLinkMatrixPartialFallback: links the matrix does not cover — short
+// rows, short matrix, out-of-range ids — use the global Adversary, so a
+// small matrix overlays special links on an otherwise uniform network.
+func TestLinkMatrixPartialFallback(t *testing.T) {
+	m := LinkMatrix{{{}, {}}, {{}, {}}} // 2×2 matrix, perfect links
+	n := New(Config{N: 3, Seed: 1, Adversary: Adversary{DropProb: 1}, Links: m})
+	defer n.Close()
+
+	n.Send(0, 1, msg(wire.TWrite)) // covered: perfect
+	if got, ok := n.Recv(1); !ok || got.Type != wire.TWrite {
+		t.Fatal("matrix-covered link fell back to the lossy global adversary")
+	}
+	n.Send(0, 2, msg(wire.TWrite)) // row 0 is short: global adversary
+	n.Send(2, 0, msg(wire.TWrite)) // row 2 missing: global adversary
+	if got := n.Counters().Drops(); got != 2 {
+		t.Errorf("uncovered links dropped %d of 2 sends under DropProb=1", got)
+	}
+
+	// At itself: the documented coverage predicate.
+	if _, ok := m.At(0, 2); ok {
+		t.Error("short row reported covered")
+	}
+	if _, ok := m.At(2, 0); ok {
+		t.Error("missing row reported covered")
+	}
+	if _, ok := m.At(-1, 0); ok {
+		t.Error("negative id reported covered")
+	}
+	if _, ok := m.At(0, 1); !ok {
+		t.Error("in-range entry reported uncovered")
+	}
+}
+
+// TestLinkMatrixNormalized: per-link Min>Max delay pairs are swapped and
+// negative bandwidth clamped at construction, mirroring the global
+// adversary's normalization (TestDelayBoundsNormalized).
+func TestLinkMatrixNormalized(t *testing.T) {
+	m := NewLinkMatrix(2)
+	m[0][1] = LinkProfile{
+		Adversary:    Adversary{MinDelay: 5 * time.Millisecond, MaxDelay: time.Millisecond},
+		BandwidthBps: -7,
+	}
+	n := New(Config{N: 2, Seed: 1, Links: m})
+	defer n.Close()
+	p, ok := n.topo.Load().links.At(0, 1)
+	if !ok {
+		t.Fatal("installed link not covered")
+	}
+	if p.MinDelay != time.Millisecond || p.MaxDelay != 5*time.Millisecond {
+		t.Errorf("bounds not swapped: min=%v max=%v", p.MinDelay, p.MaxDelay)
+	}
+	if p.BandwidthBps != 0 {
+		t.Errorf("negative bandwidth not clamped: %d", p.BandwidthBps)
+	}
+	// The caller's matrix must not have been mutated in place.
+	if m[0][1].MinDelay != 5*time.Millisecond {
+		t.Error("normalization mutated the caller's matrix")
+	}
+}
+
+// TestSendManyMatrixPerRecipient: SendMany draws each recipient's fate on
+// its own directed link — a lossy link to one recipient must not affect the
+// others sharing the broadcast.
+func TestSendManyMatrixPerRecipient(t *testing.T) {
+	m := NewLinkMatrix(4)
+	m[0][2] = lossy()
+	n := New(Config{N: 4, Seed: 1, Links: m})
+	defer n.Close()
+	n.SendMany(0, []int{1, 2, 3}, msg(wire.TGossip))
+	for _, to := range []int{1, 3} {
+		if got, ok := n.Recv(to); !ok || got.Type != wire.TGossip {
+			t.Fatalf("recipient %d lost the broadcast to a sibling's lossy link", to)
+		}
+	}
+	if got := n.Counters().Drops(); got != 1 {
+		t.Errorf("drops = %d, want exactly the lossy recipient", got)
+	}
+	// Metering counts one send per recipient, drop or not.
+	if got := n.Counters().Messages(wire.TGossip); got != 3 {
+		t.Errorf("sends metered = %d, want 3", got)
+	}
+}
+
+// TestLinkMatrixBandwidthDelay: a finite BandwidthBps adds a size-
+// proportional serialization delay — the packet sits in the delivery queue
+// rather than arriving instantly.
+func TestLinkMatrixBandwidthDelay(t *testing.T) {
+	m := NewLinkMatrix(2)
+	m[0][1] = LinkProfile{BandwidthBps: 1} // ~seconds per byte
+	n := New(Config{N: 2, Seed: 1, Links: m})
+	defer n.Close()
+	n.Send(0, 1, msg(wire.TWrite))
+	if n.pendingLen() == 0 && n.QueueLen(1) == 0 {
+		t.Error("bandwidth-bound packet neither pending nor queued")
+	}
+	if n.QueueLen(1) != 0 {
+		t.Error("serialization delay not applied: packet delivered instantly")
+	}
+}
+
+// TestSlowNodeFactorRoundTrip: SetNodeSlowdown(…, 1) on every node with no
+// link matrix restores the legacy fast path (nil topology), so a healed
+// cluster's digests match a never-slowed one.
+func TestSlowNodeFactorRoundTrip(t *testing.T) {
+	n := New(Config{N: 3, Seed: 1})
+	defer n.Close()
+	if n.topo.Load() != nil {
+		t.Fatal("fresh uniform network has a topology installed")
+	}
+	n.SetNodeSlowdown(1, 4)
+	if n.topo.Load() == nil {
+		t.Fatal("slowdown did not install a topology")
+	}
+	n.SetNodeSlowdown(1, 0.25) // below 1 clamps to full speed
+	if n.topo.Load() != nil {
+		t.Error("healed all-ones slowdown did not restore the legacy path")
+	}
+	n.SetNodeSlowdown(7, 5) // out of range: ignored
+	if n.topo.Load() != nil {
+		t.Error("out-of-range slowdown installed a topology")
+	}
+}

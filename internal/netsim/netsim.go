@@ -14,6 +14,7 @@ package netsim
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selfstabsnap/internal/mailbox"
@@ -106,13 +107,95 @@ func (a Adversary) delay(rng *rand.Rand) time.Duration {
 	return a.MinDelay + time.Duration(rng.Int63n(int64(a.MaxDelay-a.MinDelay)))
 }
 
+// LinkProfile is the adversary of one directed link: the usual
+// drop/dup/delay misbehaviour plus an optional bandwidth bound that adds a
+// size-proportional serialization delay (size·second/BandwidthBps) to every
+// copy. The zero value is a perfect link.
+type LinkProfile struct {
+	Adversary
+	// BandwidthBps models link throughput; 0 means infinite (no
+	// serialization delay). Negative values are clamped to 0.
+	BandwidthBps int64
+}
+
+// normalized orders the delay pair and clamps the bandwidth, mirroring
+// Adversary.normalized.
+func (p LinkProfile) normalized() LinkProfile {
+	p.Adversary = p.Adversary.normalized()
+	if p.BandwidthBps < 0 {
+		p.BandwidthBps = 0
+	}
+	return p
+}
+
+// active reports whether drawing this profile needs randomness.
+func (p LinkProfile) active() bool {
+	return p.DropProb > 0 || p.DupProb > 0 || p.MaxDelay > p.MinDelay
+}
+
+// LinkMatrix assigns a profile to every directed link: entry [from][to]
+// governs messages from node `from` to node `to` (self-links included — a
+// node's broadcast to itself crosses [i][i]). Links the matrix does not
+// cover — a nil matrix, short rows, or out-of-range ids — fall back to the
+// network's global Adversary, so a partial matrix overlays special links on
+// an otherwise uniform network.
+type LinkMatrix [][]LinkProfile
+
+// NewLinkMatrix returns an n×n matrix of perfect links.
+func NewLinkMatrix(n int) LinkMatrix {
+	m := make(LinkMatrix, n)
+	for i := range m {
+		m[i] = make([]LinkProfile, n)
+	}
+	return m
+}
+
+// At returns the profile of the directed link from→to; ok is false when the
+// matrix does not cover it (the caller should fall back to the global
+// Adversary).
+func (m LinkMatrix) At(from, to int) (LinkProfile, bool) {
+	if from >= 0 && from < len(m) && to >= 0 && to < len(m[from]) {
+		return m[from][to], true
+	}
+	return LinkProfile{}, false
+}
+
+// normalized returns a deep copy with every profile normalized.
+func (m LinkMatrix) normalized() LinkMatrix {
+	if m == nil {
+		return nil
+	}
+	c := make(LinkMatrix, len(m))
+	for i, row := range m {
+		c[i] = make([]LinkProfile, len(row))
+		for j, p := range row {
+			c[i][j] = p.normalized()
+		}
+	}
+	return c
+}
+
+// topology is the copy-on-write hostile-topology state of a network:
+// per-link profiles and per-node delay-inflation factors. A nil topology
+// pointer means the legacy uniform-adversary fast path — configs that never
+// set Links or a slowdown take exactly the pre-LinkMatrix code path, so
+// their seeded executions (and chaos digests) are bit-for-bit unchanged.
+type topology struct {
+	links LinkMatrix // may be nil: per-node slowdowns over a uniform net
+	slow  []float64  // per-node factor ≥ 1; nil means all 1
+}
+
 // Config parameterises a simulated network.
 type Config struct {
 	N         int       // number of nodes (ids 0..N-1)
 	Seed      int64     // seed for all adversarial randomness
 	InboxCap  int       // bounded channel capacity per node (default 4096)
-	Adversary Adversary // link misbehaviour
-	Trace     TraceHook // optional send/deliver observer (may be nil)
+	Adversary Adversary // link misbehaviour (fallback when Links doesn't cover a link)
+	// Links, when non-nil, assigns per-directed-link adversary profiles;
+	// links it does not cover use the global Adversary. Profiles are
+	// normalized at construction exactly like the global Adversary.
+	Links LinkMatrix
+	Trace TraceHook // optional send/deliver observer (may be nil)
 
 	// Clock drives delivery deadlines, trace timestamps and the delivery
 	// goroutine's blocking. nil means the real clock; a *simclock.Virtual
@@ -148,6 +231,12 @@ type Network struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// Hostile topology (per-link profiles, per-node slowdowns), published
+	// copy-on-write so the send hot path reads it with one atomic load.
+	// nil = the legacy uniform-adversary path, taken unchanged.
+	topoMu sync.Mutex // serializes topology updates
+	topo   atomic.Pointer[topology]
+
 	// Delayed-delivery scheduler: one goroutine per network drains a
 	// min-heap of pending packets (see scheduler.go).
 	pendMu    sync.Mutex
@@ -177,6 +266,9 @@ func New(cfg Config) *Network {
 		loopWg:  clk.NewGroup(),
 	}
 	n.waitIdle = []simclock.Waitable{n.done, n.wake}
+	if cfg.Links != nil {
+		n.topo.Store(&topology{links: cfg.Links.normalized()})
+	}
 	n.inboxes = make([]*mailbox.Queue[*wire.Message], cfg.N)
 	for i := range n.inboxes {
 		n.inboxes[i] = mailbox.NewClocked[*wire.Message](clk, cfg.InboxCap)
@@ -230,6 +322,138 @@ func (n *Network) adversaryDraw() (copies int, delays [2]time.Duration) {
 	return copies, delays
 }
 
+// drawFor samples one transmission's fate on the directed link from→to.
+// With no topology installed it is exactly adversaryDraw; otherwise the
+// link's own profile (or the global Adversary where the matrix doesn't
+// cover the link) governs the draw, a bandwidth bound adds a
+// size-proportional serialization delay, and the endpoints' slowdown
+// factors inflate every copy's delay multiplicatively.
+func (n *Network) drawFor(from, to, size int) (copies int, delays [2]time.Duration) {
+	t := n.topo.Load()
+	if t == nil {
+		return n.adversaryDraw()
+	}
+	p, ok := t.links.At(from, to)
+	if !ok {
+		p = LinkProfile{Adversary: n.cfg.Adversary}
+	}
+	copies = 1
+	if p.active() {
+		n.rngMu.Lock()
+		if p.DropProb > 0 && n.rng.Float64() < p.DropProb {
+			copies = 0
+		} else if p.DupProb > 0 && n.rng.Float64() < p.DupProb {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			delays[i] = p.Adversary.delay(n.rng)
+		}
+		n.rngMu.Unlock()
+	} else {
+		delays[0], delays[1] = p.MinDelay, p.MinDelay
+	}
+	var ser time.Duration
+	if p.BandwidthBps > 0 && size > 0 {
+		ser = time.Duration(int64(size) * int64(time.Second) / p.BandwidthBps)
+	}
+	factor := 1.0
+	if t.slow != nil {
+		if from >= 0 && from < len(t.slow) && t.slow[from] > 1 {
+			factor *= t.slow[from]
+		}
+		if to >= 0 && to < len(t.slow) && t.slow[to] > 1 {
+			factor *= t.slow[to]
+		}
+	}
+	if ser > 0 || factor != 1 {
+		for i := 0; i < copies; i++ {
+			d := delays[i] + ser
+			if factor != 1 {
+				d = time.Duration(float64(d) * factor)
+			}
+			delays[i] = d
+		}
+	}
+	return copies, delays
+}
+
+// SetLinkProfile installs (or replaces) the profile of the directed link
+// from→to, growing the matrix to N×N if it doesn't cover the link yet —
+// uncovered links keep falling back to the global Adversary until touched.
+// Updates are copy-on-write: in-flight draws keep the topology they loaded.
+func (n *Network) SetLinkProfile(from, to int, p LinkProfile) {
+	if from < 0 || from >= n.cfg.N || to < 0 || to >= n.cfg.N {
+		return
+	}
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	cur := n.topo.Load()
+	next := &topology{}
+	if cur != nil {
+		next.slow = cur.slow
+		next.links = cur.links
+	}
+	grown := NewLinkMatrix(n.cfg.N)
+	for i := range grown {
+		for j := range grown[i] {
+			if q, ok := next.links.At(i, j); ok {
+				grown[i][j] = q
+			} else {
+				grown[i][j] = LinkProfile{Adversary: n.cfg.Adversary}
+			}
+		}
+	}
+	grown[from][to] = p.normalized()
+	next.links = grown
+	n.topo.Store(next)
+}
+
+// SetNodeSlowdown inflates every delay on node id's links (both directions)
+// by factor — the slow-but-alive nemesis: the node keeps taking steps and
+// is never counted as crashed, but all its traffic crawls. factor ≤ 1
+// restores full speed; when the whole topology returns to baseline the
+// legacy fast path is reinstated.
+func (n *Network) SetNodeSlowdown(id int, factor float64) {
+	if id < 0 || id >= n.cfg.N {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	cur := n.topo.Load()
+	next := &topology{}
+	if cur != nil {
+		next.links = cur.links
+		if cur.slow != nil {
+			next.slow = append([]float64(nil), cur.slow...)
+		}
+	}
+	if next.slow == nil {
+		next.slow = make([]float64, n.cfg.N)
+		for i := range next.slow {
+			next.slow[i] = 1
+		}
+	}
+	next.slow[id] = factor
+	allOne := true
+	for _, f := range next.slow {
+		if f != 1 {
+			allOne = false
+			break
+		}
+	}
+	if allOne {
+		next.slow = nil
+		if next.links == nil {
+			n.topo.Store(nil)
+			return
+		}
+	}
+	n.topo.Store(next)
+}
+
 // dispatch routes one envelope (and its adversarial duplicate, if any) to
 // node to's inbox, immediately or through the delay scheduler. Duplicates
 // share the payload copy-on-write: receivers never mutate arrivals.
@@ -263,7 +487,8 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 	if !ok {
 		return
 	}
-	copies, delays := n.adversaryDraw()
+	size := m.Size()
+	copies, delays := n.drawFor(from, to, size)
 	switch copies {
 	case 0:
 		n.counters.RecordDrop()
@@ -274,12 +499,12 @@ func (n *Network) Send(from, to int, m *wire.Message) {
 	// A send is metered even when the adversary loses it: the paper counts
 	// transmissions, and losses surface separately as drops.
 	if copies == 0 && n.cfg.Trace == nil {
-		n.counters.RecordSend(m.Type, m.Size())
+		n.counters.RecordSend(m.Type, size)
 		return
 	}
 	c := m.ShallowClone()
 	c.From, c.To, c.Seq = int32(from), int32(to), seq
-	n.counters.RecordSend(c.Type, c.Size())
+	n.counters.RecordSend(c.Type, size)
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.OnSend(from, to, c, n.clk.Now())
 	}
@@ -309,7 +534,7 @@ func (n *Network) SendMany(from int, to []int, m *wire.Message) {
 			continue
 		}
 		sent++
-		copies, delays := n.adversaryDraw()
+		copies, delays := n.drawFor(from, k, size)
 		switch copies {
 		case 0:
 			n.counters.RecordDrop()
