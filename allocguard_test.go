@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/core"
+	"selfstabsnap/internal/reset"
 	"selfstabsnap/internal/types"
 )
 
@@ -49,6 +50,54 @@ func measureOp(t *testing.T, ops int, fn func() error) (allocsOp, bytesOp int64)
 	runtime.ReadMemStats(&after)
 	n := int64(ops)
 	return int64(after.Mallocs-before.Mallocs) / n, int64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
+// TestHotpathAllocationCeilingsWrapTick guards the reset engine's wrap
+// tick. While frozen the engine broadcasts MAXIDX gossip once per tick
+// with the caller's shared-structure register snapshot attached by
+// reference; the tick's cost must stay O(1) in ν. A reintroduced
+// reg.Clone() on this path costs ≥ n extra allocations and n·ν extra
+// bytes per tick (n=16, ν=256 → ≥4 KB/tick) and trips both ceilings
+// immediately. The name shares the TestHotpathAllocationCeilings prefix
+// so CI's existing `-run TestHotpathAllocationCeilings` leg picks it up.
+func TestHotpathAllocationCeilingsWrapTick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated and non-representative under -race")
+	}
+	if types.MutcheckEnabled {
+		t.Skip("mutcheck's fingerprint registry allocates by design; ceilings hold for production builds")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	const n, nu, ops = 16, 256, 200
+	payload := make([]byte, nu)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	reg := types.NewRegVector(n)
+	for k := range reg {
+		reg[k] = types.TSValue{TS: int64(k + 1), Val: payload}
+	}
+	shared := reg.Share()
+
+	eng := reset.NewEngine(0, n)
+	eng.Trigger()
+	allocs, bytes := measureOp(t, ops, func() error {
+		res := eng.OnTick(shared, true)
+		if len(res.Outputs) == 0 {
+			return fmt.Errorf("wrap tick produced no MAXIDX broadcast")
+		}
+		return nil
+	})
+	const allocCeil, byteCeil = 12, 1_600
+	t.Logf("wrap tick n=%d ν=%d: %d allocs/op, %d B/op (ceiling %d / %d)", n, nu, allocs, bytes, allocCeil, byteCeil)
+	if allocs > allocCeil {
+		t.Errorf("allocs/op regression: %d > ceiling %d — a register deep copy crept back onto the wrap tick?", allocs, allocCeil)
+	}
+	if bytes > byteCeil {
+		t.Errorf("B/op regression: %d > ceiling %d — a register deep copy crept back onto the wrap tick?", bytes, byteCeil)
+	}
 }
 
 func TestHotpathAllocationCeilings(t *testing.T) {

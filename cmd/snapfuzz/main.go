@@ -85,6 +85,9 @@ func main() {
 		skewedRst = flag.Float64("skewed-restart", 0, "detectable restarts with recovery per second (0 = none)")
 		maxSkew   = flag.Duration("max-skew", 0, "skewed restarts: restart-window bound (0 = adaptive default)")
 		bankLoad  = flag.Bool("bank", false, "drive the checkpoint/restore bank workload instead of the generic one")
+		maxInt    = flag.Int64("max-int", 0, "bounded algorithms: overflow threshold MAXINT (0 = practically unbounded; >0 makes global resets fire)")
+		pinCrash  = flag.Bool("pin-crash", false, "crash node 0 for the whole checked phase (coordinator-crash mix for reset campaigns)")
+		abortRst  = flag.Bool("abort-reset", false, "abort in-flight ops when a reset commits instead of deferring them")
 		campaign  = flag.Bool("campaign", false, "campaign mode: shard seeds across workers, virtual time, minimize failures")
 		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
 		out       = flag.String("out", "", "campaign mode: write failures (seed + minimized schedule) as JSON to this file")
@@ -114,6 +117,13 @@ func main() {
 		SlowNodeFactor:    *slowFact,
 		SkewedRestartRate: *skewedRst,
 		MaxSkew:           *maxSkew,
+		MaxInt:            *maxInt,
+		PinCrash:          *pinCrash,
+		AbortDuringReset:  *abortRst,
+	}
+	if *maxInt > 0 && !alg.Bounded() {
+		fmt.Fprintf(os.Stderr, "-max-int requires a bounded algorithm (ss-bounded, ss-bounded-delta)\n")
+		os.Exit(2)
 	}
 	if *wanMatrix > 0 {
 		base.WAN = &faults.WANSpec{Regions: *wanMatrix, Cross: *wanCross, DropProb: *wanDrop}

@@ -51,9 +51,14 @@ type Inner interface {
 	// payload bytes.
 	RegSnapshot() types.RegVector
 	MergeReg(types.RegVector)
-	// ApplyReset collapses every index to its initial value while keeping
-	// register values (all nodes hold identical registers when it runs).
-	ApplyReset()
+	// InstallReset installs the consensus-decided register vector with
+	// every operation index collapsed to its initial value (non-⊥ entries
+	// restart at write index 1, values preserved). All committing nodes
+	// receive the identical vector — that is what consensus decided.
+	InstallReset(types.RegVector)
+	// RestartDetectable restarts the algorithm's program with all
+	// variables re-initialised (the paper's detectable restart).
+	RestartDetectable()
 }
 
 // DefaultMaxInt is the production overflow threshold. Tests override it.
@@ -96,9 +101,26 @@ type Node struct {
 	deferred atomic.Int64
 	aborted  atomic.Int64
 
+	evMu   sync.Mutex
+	events []CnsEvent
+
 	stopEv simclock.Event
 	wg     *simclock.Group
 }
+
+// CnsEvent is one consensus life-cycle observation (trigger, propose,
+// decide, commit), stamped with node identity and virtual-clock time.
+// Chaos campaigns aggregate these across the cluster and feed them to the
+// history checker's consensus invariants.
+type CnsEvent struct {
+	reset.Event
+	Node int
+	At   time.Time
+}
+
+// maxEvents bounds the per-node event buffer: a transient-fault storm that
+// forges endless reset traffic must not grow memory without bound.
+const maxEvents = 1 << 14
 
 // New creates a bounded node wrapping Algorithm 1 (the paper's primary §5
 // target) with identifier id over transport tr.
@@ -135,8 +157,27 @@ func newShell(id int, tr netsim.Transport, cfg Config) *Node {
 	b := &Node{cfg: cfg, id: id, n: tr.N(), clk: clk, stopEv: clk.NewEvent(), wg: clk.NewGroup()}
 	b.gateEv = clk.NewEvent()
 	b.eng = reset.NewEngine(id, tr.N())
+	b.eng.SetHook(b.recordEvent)
 	b.ft = &fencedTransport{Transport: tr, owner: b}
 	return b
+}
+
+// recordEvent is the reset engine's lifecycle hook. It runs under the
+// engine lock, so it only appends to the local buffer.
+func (b *Node) recordEvent(ev reset.Event) {
+	b.evMu.Lock()
+	if len(b.events) < maxEvents {
+		b.events = append(b.events, CnsEvent{Event: ev, Node: b.id, At: b.clk.Now()})
+	}
+	b.evMu.Unlock()
+}
+
+// ConsensusEvents returns a copy of the consensus life-cycle events this
+// node has recorded since boot.
+func (b *Node) ConsensusEvents() []CnsEvent {
+	b.evMu.Lock()
+	defer b.evMu.Unlock()
+	return append([]CnsEvent(nil), b.events...)
 }
 
 // Start launches the node's goroutines, including the overflow watcher.
@@ -190,6 +231,26 @@ func (b *Node) AbortedOps() int64 { return b.aborted.Load() }
 
 // ResetActive reports whether a global reset is currently in progress.
 func (b *Node) ResetActive() bool { return b.eng.Active() }
+
+// ResetRejects returns how many hostile reset-plane or consensus messages
+// this node's engine has dropped before any state transition.
+func (b *Node) ResetRejects() uint64 { return b.eng.Rejects() }
+
+// RestartDetectable performs the paper's detectable restart of the whole
+// bounded node: the wrapped algorithm restarts with every variable
+// re-initialised, and the reset engine forgets its epoch, frozen evidence,
+// and consensus state. A restarted acceptor cannot remember its promises —
+// the engine relies on decide-replay from its peers (a majority of which
+// stays up by the fault model) to re-learn the current epoch.
+func (b *Node) RestartDetectable() {
+	b.inner.RestartDetectable()
+	b.eng.Restart()
+	b.openGate()
+}
+
+// MergeReg folds an external register view into the wrapped algorithm
+// (SkewedRestart recovery in the core facade).
+func (b *Node) MergeReg(r types.RegVector) { b.inner.MergeReg(r) }
 
 // Write performs a write, subject to the reset admission gate.
 func (b *Node) Write(v types.Value) error {
@@ -308,6 +369,9 @@ func (b *Node) handleReset(m *wire.Message) {
 // exec applies a reset-engine result: merge registers, transmit outputs,
 // and apply a commit.
 func (b *Node) exec(res reset.Result) {
+	if res.Rejected {
+		b.ft.Counters().RecordResetReject()
+	}
 	if res.MergeReg != nil {
 		b.inner.MergeReg(res.MergeReg)
 	}
@@ -323,7 +387,15 @@ func (b *Node) exec(res reset.Result) {
 		}
 	}
 	if res.Commit {
-		b.inner.ApplyReset()
+		// A laggard can learn the decision while it still has operations
+		// in flight (it never froze — the decide came via replay). Those
+		// operations began under the old epoch; letting them keep
+		// retransmitting after the install would stamp pre-reset indices
+		// with the new epoch. Abort them before touching the registers.
+		if n := b.inner.Runtime().AbortInflightCalls(); n > 0 {
+			b.aborted.Add(int64(n))
+		}
+		b.inner.InstallReset(res.Install)
 		b.resets.Add(1)
 		b.inner.Runtime().RecordEvent("global-reset", "bounded-counter epoch reset committed")
 		b.openGate()
@@ -370,8 +442,19 @@ func (f *fencedTransport) Recv(id int) (*wire.Message, bool) {
 			f.owner.handleReset(m)
 			continue
 		}
-		if m.Epoch != f.owner.eng.Epoch() {
-			continue // fenced: pre-reset (or post-reset) stray
+		if cur := f.owner.eng.Epoch(); m.Epoch != cur {
+			// Fenced: pre-reset (or post-reset) stray. A *request* below
+			// our epoch marks a live laggard that slept through a whole
+			// reset — answer with a decide replay so it can catch up; no
+			// coordinator re-broadcasts commits in the consensus design.
+			if m.Epoch < cur && isRequest(m.Type) {
+				if from := int(m.From); from >= 0 && from < f.owner.n && from != f.owner.id {
+					if d := f.owner.eng.ReplayFor(m.Epoch); d != nil {
+						f.sendRaw(f.owner.id, from, d)
+					}
+				}
+			}
+			continue
 		}
 		return m, true
 	}

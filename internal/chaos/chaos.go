@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"selfstabsnap/internal/bank"
+	"selfstabsnap/internal/bounded"
 	"selfstabsnap/internal/core"
 	"selfstabsnap/internal/faults"
 	"selfstabsnap/internal/history"
@@ -52,6 +53,13 @@ import (
 	"selfstabsnap/internal/simclock"
 	"selfstabsnap/internal/types"
 )
+
+// settleWindow is the quiet tail of a bounded-reset run: long enough for a
+// reset in flight at workload stop to freeze, decide and commit (a few
+// wrap-gossip rounds at the 1ms loop interval), and for every healed
+// laggard's first gossip to draw a decide replay. Fixed, so virtual runs
+// stay deterministic.
+const settleWindow = 60 * time.Millisecond
 
 // Config parameterises a chaos run.
 type Config struct {
@@ -109,6 +117,28 @@ type Config struct {
 	// Objects == 1 and is incompatible with Corrupt (a transient fault
 	// may legally fabricate non-bank register contents).
 	Bank *BankSpec
+
+	// MaxInt, for the bounded algorithms, lowers the overflow threshold so
+	// runs actually wrap and exercise the consensus-based global reset (0
+	// keeps the production default, which a short run never reaches). A
+	// MaxInt run finishes with a settle phase — faults heal, then a quiet
+	// window lets decide-replays land — after which any node still
+	// mid-reset is a consensus-stabilization violation. Its history is
+	// checked with epoch-aware comparability: a reset collapses operation
+	// indices, so snapshot vectors are only comparable within one epoch.
+	// The aggregated consensus event stream is additionally checked for
+	// agreement and validity (history.CheckConsensusEvents).
+	MaxInt int64
+	// AbortDuringReset forwards to the bounded wrapper: operations invoked
+	// during a reset abort with node.ErrAborted instead of deferring.
+	AbortDuringReset bool
+	// PinCrash crashes node 0 for the entire checked phase — the
+	// former-coordinator mix: node 0 is the most leader-preferred id of
+	// the rotating-ballot consensus, so pinning it down proves any other
+	// node's overflow trigger still drives a reset to commitment. Node 0
+	// counts as permanently down in the schedule's ≤f occupancy guard and
+	// no rated fault ever targets it.
+	PinCrash bool
 
 	// Schedule, when non-nil, replaces the generated fault schedule —
 	// used to replay a stored schedule or test a minimized one. An empty
@@ -192,6 +222,7 @@ type Result struct {
 	Restarts    int64 // detectable (skewed) restarts completed
 	Restores    int64 // bank checkpoints restored after a restart
 	RecoveryCyc int64 // cycles to invariant after the transient fault (if any)
+	Resets      int64 // bounded-counter global resets committed, summed over nodes
 	Violation   *history.Violation
 
 	// Schedule is the fault schedule the run executed (given or generated),
@@ -211,8 +242,8 @@ func (r Result) String() string {
 	if r.Violation != nil {
 		lin = r.Violation.Error()
 	}
-	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d ackcorrupts=%d flaps=%d slow=%d restarts=%d restores=%d recovery=%d cycles → %s",
-		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.AckCorrupts, r.Flaps, r.SlowNodes, r.Restarts, r.Restores, r.RecoveryCyc, lin)
+	return fmt.Sprintf("writes=%d snapshots=%d crashes=%d resumes=%d partitions=%d ackcorrupts=%d flaps=%d slow=%d restarts=%d restores=%d resets=%d recovery=%d cycles → %s",
+		r.Writes, r.Snapshots, r.Crashes, r.Resumes, r.Partitions, r.AckCorrupts, r.Flaps, r.SlowNodes, r.Restarts, r.Restores, r.Resets, r.RecoveryCyc, lin)
 }
 
 // Run executes one chaos schedule. It returns an error only for setup
@@ -272,14 +303,16 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	}
 	cluster, err := core.NewCluster(core.Config{
 		N: cfg.N, Algorithm: cfg.Algorithm, Delta: cfg.Delta, Seed: cfg.Seed,
-		Adversary:      cfg.Adversary,
-		Links:          links,
-		Objects:        cfg.Objects,
-		LoopInterval:   time.Millisecond,
-		RetxInterval:   3 * time.Millisecond,
-		DispatchShards: cfg.DispatchShards,
-		Trace:          hook,
-		Clock:          clk,
+		Adversary:        cfg.Adversary,
+		Links:            links,
+		Objects:          cfg.Objects,
+		LoopInterval:     time.Millisecond,
+		RetxInterval:     3 * time.Millisecond,
+		DispatchShards:   cfg.DispatchShards,
+		MaxInt:           cfg.MaxInt,
+		AbortDuringReset: cfg.AbortDuringReset,
+		Trace:            hook,
+		Clock:            clk,
 	})
 	if err != nil {
 		return res, err
@@ -324,6 +357,13 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		}
 	}
 
+	// The former-coordinator mix: node 0 goes down before the checked
+	// phase begins and stays down until the settle phase. Placed after the
+	// corrupt-recovery baseline, which needs every node writable.
+	if cfg.PinCrash {
+		cluster.Crash(0)
+	}
+
 	// One recorder per object: objects are independent snapshot instances,
 	// so each history is recorded and checked on its own.
 	recs := make([]*history.Recorder, cfg.Objects)
@@ -345,6 +385,20 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		cfg.Algorithm == core.NonBlockingSS || cfg.Algorithm == core.StackedABD
 	fullCheck := !cfg.Corrupt && (syncInstall || !scheduleHasCrash(cfg.Schedule)) &&
 		!scheduleHas(cfg.Schedule, FaultSkewedRestart)
+
+	// epochOf labels snapshots with the object's configuration epoch when
+	// global resets can actually fire: cross-epoch vectors are incomparable
+	// by design, so the checker partitions the history by epoch. Each
+	// hosted object runs its own reset engine, hence the per-object lookup.
+	var epochOf func(i, obj int) int64
+	if cfg.MaxInt > 0 {
+		epochOf = func(i, obj int) int64 {
+			if nd, ok := cluster.ObjectAt(i, obj).(*bounded.Node); ok {
+				return nd.Epoch()
+			}
+			return 0
+		}
+	}
 
 	stop := clk.NewEvent()
 	wg := clk.NewGroup()
@@ -478,10 +532,18 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 					writes.Add(1)
 				}
 				if r.Intn(3) == 0 {
-					endS := recs[obj].BeginSnapshot(i)
-					if snap, err := cluster.SnapshotObject(i, obj); err == nil {
-						endS(snap)
-						snaps.Add(1)
+					if epochOf != nil {
+						endS := recs[obj].BeginSnapshotTagged(i, epochOf(i, obj))
+						if snap, err := cluster.SnapshotObject(i, obj); err == nil {
+							endS(snap, epochOf(i, obj))
+							snaps.Add(1)
+						}
+					} else {
+						endS := recs[obj].BeginSnapshot(i)
+						if snap, err := cluster.SnapshotObject(i, obj); err == nil {
+							endS(snap)
+							snaps.Add(1)
+						}
 					}
 				}
 				if think := cfg.MaxThink; think > 0 {
@@ -527,6 +589,23 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 		cluster.Resume(i)
 	}
 
+	// Settle phase for bounded-reset runs: with every fault healed and the
+	// pinned node resumed, a quiet window lets in-progress resets commit
+	// and laggards catch up via decide replay (their periodic gossip,
+	// stamped with the stale epoch, draws the replay from any peer). An
+	// engine still mid-reset afterwards has failed to stabilize.
+	stuck := make([][]int, cfg.Objects)
+	if cfg.MaxInt > 0 {
+		clk.Sleep(settleWindow)
+		for i := 0; i < cfg.N; i++ {
+			for o := 0; o < cfg.Objects; o++ {
+				if nd, ok := cluster.ObjectAt(i, o).(*bounded.Node); ok && nd.ResetActive() {
+					stuck[o] = append(stuck[o], i)
+				}
+			}
+		}
+	}
+
 	res.Writes = writes.Load()
 	res.Snapshots = snaps.Load()
 	res.Crashes = crashes.Load()
@@ -543,14 +622,41 @@ func run(cfg Config, clk simclock.Clock) (Result, error) {
 	// distinct objects are distinct linearizable registers vectors.
 	for _, rec := range recs {
 		var v *history.Violation
-		if fullCheck {
+		switch {
+		case cfg.MaxInt > 0:
+			v = checkComparabilityPerEpoch(rec)
+		case fullCheck:
 			v = rec.Check()
-		} else {
+		default:
 			v = checkComparabilityOnly(rec)
 		}
 		if v != nil {
 			res.Violation = v
 			break
+		}
+	}
+	// Bounded-reset runs additionally verify the consensus invariants,
+	// per hosted object (each object runs its own reset engine and epoch
+	// sequence) over the cluster-wide event stream — crashed nodes' buffers
+	// included, since their in-memory records survive the crash.
+	if cfg.MaxInt > 0 {
+		for o := 0; o < cfg.Objects; o++ {
+			var evs []history.ConsensusEvent
+			for i := 0; i < cfg.N; i++ {
+				nd, ok := cluster.ObjectAt(i, o).(*bounded.Node)
+				if !ok {
+					continue
+				}
+				res.Resets += nd.Resets()
+				for _, e := range nd.ConsensusEvents() {
+					evs = append(evs, history.ConsensusEvent{
+						Node: e.Node, Kind: e.Kind, Epoch: e.Epoch, Digest: e.Digest,
+					})
+				}
+			}
+			if v := history.CheckConsensusEvents(evs, stuck[o]); v != nil && res.Violation == nil {
+				res.Violation = v
+			}
 		}
 	}
 	// The bank adds its application-level invariant on top: every snapshot
@@ -597,6 +703,33 @@ func checkComparabilityOnly(rec *history.Recorder) *history.Violation {
 			snaps = append(snaps, op)
 		}
 	}
+	return checkSnapshotOrder(snaps)
+}
+
+// checkComparabilityPerEpoch is checkComparabilityOnly partitioned by the
+// epoch tag: a global reset collapses every operation index, so vectors
+// from different epochs are incomparable by design and only snapshots
+// executed entirely within one epoch are mutually constrained. Ops tagged
+// −1 straddled a reset and are excluded — the §5 transformation explicitly
+// permits disturbing the bounded number of operations a reset overlaps.
+func checkComparabilityPerEpoch(rec *history.Recorder) *history.Violation {
+	byEpoch := map[int64][]*history.Op{}
+	for _, op := range rec.Ops() {
+		if op.Kind == history.KindSnapshot && op.Returned && op.Tag >= 0 {
+			byEpoch[op.Tag] = append(byEpoch[op.Tag], op)
+		}
+	}
+	for _, snaps := range byEpoch {
+		if v := checkSnapshotOrder(snaps); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkSnapshotOrder runs the pairwise-comparability and real-time rules
+// over one set of returned snapshots.
+func checkSnapshotOrder(snaps []*history.Op) *history.Violation {
 	for i := 0; i < len(snaps); i++ {
 		for j := i + 1; j < len(snaps); j++ {
 			vi, vj := snaps[i].Snapshot.VC(), snaps[j].Snapshot.VC()

@@ -57,6 +57,12 @@ type corpusEntry struct {
 	SkewedRestart float64 `json:"skewed_restart,omitempty"` // detectable restarts per second
 	Bank          bool    `json:"bank,omitempty"`           // checkpoint/restore bank workload
 	BankInitial   int64   `json:"bank_initial,omitempty"`   // starting balance (0 = default)
+
+	// Bounded-counter reset scenarios (§5 + consensus-based global reset).
+	MaxInt       int64 `json:"max_int,omitempty"`       // overflow threshold (>0 makes resets fire)
+	PinCrash     bool  `json:"pin_crash,omitempty"`     // node 0 down for the whole checked phase
+	AbortReset   bool  `json:"abort_reset,omitempty"`   // abort (not defer) ops during a reset
+	ExpectResets bool  `json:"expect_resets,omitempty"` // fail unless ≥1 reset committed
 }
 
 var corpusAlgorithms = map[string]core.Algorithm{
@@ -111,6 +117,9 @@ func (e corpusEntry) config() (Config, error) {
 	if e.Bank {
 		cfg.Bank = &BankSpec{Initial: e.BankInitial}
 	}
+	cfg.MaxInt = e.MaxInt
+	cfg.PinCrash = e.PinCrash
+	cfg.AbortDuringReset = e.AbortReset
 	return cfg, nil
 }
 
@@ -152,6 +161,9 @@ func TestSeedCorpus(t *testing.T) {
 			}
 			if res.Writes == 0 {
 				t.Errorf("no progress: %v", res)
+			}
+			if e.ExpectResets && res.Resets == 0 {
+				t.Errorf("expected ≥1 committed global reset: %v", res)
 			}
 		})
 	}

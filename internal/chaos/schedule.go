@@ -249,7 +249,14 @@ func GenSchedule(cfg Config) ([]FaultEvent, error) {
 		if err := cfg.Flapping.validate(cfg.N); err != nil {
 			return nil, err
 		}
-		if occ := cfg.Flapping.maxOccupancy(cfg.Duration); occ > f {
+		// With node 0 pinned down the flap train gets one slot less. The
+		// check is conservative when the train itself flaps node 0 (a flap
+		// of a crashed node downs nothing new), which only ever rejects.
+		headroom := f
+		if cfg.PinCrash {
+			headroom--
+		}
+		if occ := cfg.Flapping.maxOccupancy(cfg.Duration); occ > headroom {
 			return nil, fmt.Errorf("%w: %d nodes down at once, f=%d (N=%d)",
 				ErrFlapEnvelope, occ, f, cfg.N)
 		}
@@ -272,6 +279,13 @@ func GenSchedule(cfg Config) ([]FaultEvent, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	downUntil := make([]time.Duration, cfg.N) // zero = up (rated faults only)
 	slowUntil := make([]time.Duration, cfg.N)
+	// forever pushes a pinned node past every draw window: no rated fault
+	// ever targets it, and it occupies one ≤f slot for the whole run.
+	forever := cfg.Duration + cfg.flushWindow() + time.Hour
+	if cfg.PinCrash {
+		downUntil[0] = forever
+		slowUntil[0] = forever
+	}
 	// downs holds every interval some node is down — rated events as they
 	// are placed (their starts never postdate the current tick) plus the
 	// whole flap train up front, since flap pulses are known ahead of time
@@ -282,6 +296,9 @@ func GenSchedule(cfg Config) ([]FaultEvent, error) {
 	quiet := []span(nil) // restart windows later draws must not disturb
 	for _, e := range flaps {
 		downs = append(downs, span{e.At, e.At + e.Down, e.Node})
+	}
+	if cfg.PinCrash {
+		downs = append(downs, span{0, forever, 0})
 	}
 	// occMax is the largest number of *distinct* nodes down anywhere in
 	// [from, to). Occupancy changes only at span starts, so sampling from

@@ -85,6 +85,12 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Bounded reports whether the algorithm carries the §5 bounded-counter
+// wrapper, i.e. whether Config.MaxInt has any effect.
+func (a Algorithm) Bounded() bool {
+	return a == BoundedSS || a == BoundedDeltaSS
+}
+
 // SelfStabilizing reports whether the algorithm recovers from transient
 // faults.
 func (a Algorithm) SelfStabilizing() bool {
@@ -325,6 +331,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				invariant: nd.Inner().LocalInvariantHolds,
 				closer:    nd.Close,
 			}
+			inst.restart = nd.RestartDetectable
+			inst.mergeReg = nd.MergeReg
 			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.Inner().StateSummary()
 				return st.TS, 0, st.Reg, nil
@@ -347,6 +355,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				invariant: nd.InnerDelta().LocalInvariantHolds,
 				closer:    nd.Close,
 			}
+			inst.restart = nd.RestartDetectable
+			inst.mergeReg = nd.MergeReg
+			inst.adoptSNS = nd.InnerDelta().AdoptSNS
 			inst.state = func() (int64, int64, types.RegVector, []int64) {
 				st := nd.InnerDelta().StateSummary()
 				return st.TS, st.SNS, st.Reg, st.PndSNS

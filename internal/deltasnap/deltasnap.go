@@ -811,6 +811,29 @@ func (nd *Node) ApplyReset() {
 	}
 }
 
+// InstallReset is ApplyReset with the register vector replaced wholesale
+// by r, the value the reset consensus decided: non-⊥ decided entries
+// restart at write index 1 with their decided values, every operation
+// index re-initialises, and the pending-task table clears. Installing the
+// decided vector makes all committing nodes byte-identical without
+// requiring the MAXIDX gossip to have converged first.
+func (nd *Node) InstallReset(r types.RegVector) {
+	nd.mu.Lock()
+	nd.reg = types.NewRegVector(nd.n)
+	for k := 0; k < nd.n && k < len(r); k++ {
+		if !r[k].IsBottom() {
+			nd.reg[k] = types.TSValue{TS: 1, Val: r[k].Val}
+		}
+	}
+	nd.ts = nd.reg[nd.id].TS
+	nd.ssn, nd.sns = 0, 0
+	nd.pndTsk = make([]pnd, nd.n)
+	nd.mu.Unlock()
+	if nd.acks != nil {
+		nd.acks.Reset() // pre-reset acks describe collapsed indices
+	}
+}
+
 // LocalInvariantHolds checks Definition 1's per-node invariants (i)–(iv)
 // restricted to locally checkable state: ts ≥ reg[i].ts,
 // sns = pndTsk[i].sns, and every pndTsk vc ⪯ VC.

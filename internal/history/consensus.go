@@ -1,0 +1,84 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"selfstabsnap/internal/reset"
+)
+
+// ConsensusEvent is one reset-consensus life-cycle observation from one
+// node: a trigger, propose, decide or commit, tagged with the consensus
+// epoch it belongs to and (for proposes and decides) the digest of the
+// register vector carried. Campaigns collect these from every node —
+// including nodes crashed at collection time, whose buffers survive — and
+// hand the aggregated stream to CheckConsensusEvents.
+type ConsensusEvent struct {
+	Node   int
+	Kind   reset.EventKind
+	Epoch  int64
+	Digest uint64
+}
+
+// CheckConsensusEvents verifies the safety and convergence invariants of
+// the coordinator-free global reset over a run's aggregated event stream:
+//
+//   - agreement — every decision learned for an epoch carries the same
+//     value digest, across all nodes and all learnings (including decide
+//     replays to laggards);
+//   - validity — every decided digest was actually proposed for that epoch
+//     by some node (consensus cannot invent a register vector);
+//   - stabilization — after the run's settle phase every reset engine has
+//     returned to idle. stuck lists the nodes still mid-reset at the end
+//     of the settle phase and must be empty: a triggered reset either
+//     commits everywhere or is a transient the system recovers from, it
+//     never wedges a correct node.
+//
+// It returns nil when all three hold, or the first Violation found.
+func CheckConsensusEvents(events []ConsensusEvent, stuck []int) *Violation {
+	proposed := map[int64]map[uint64]bool{}
+	for _, ev := range events {
+		if ev.Kind == reset.EventPropose {
+			if proposed[ev.Epoch] == nil {
+				proposed[ev.Epoch] = map[uint64]bool{}
+			}
+			proposed[ev.Epoch][ev.Digest] = true
+		}
+	}
+	decided := map[int64]ConsensusEvent{}
+	for _, ev := range events {
+		if ev.Kind != reset.EventDecide {
+			continue
+		}
+		if prev, ok := decided[ev.Epoch]; ok {
+			if prev.Digest != ev.Digest {
+				return &Violation{
+					Rule: RuleConsensusAgreement,
+					Detail: fmt.Sprintf(
+						"epoch %d decided with digest %#x at node %d but digest %#x at node %d",
+						ev.Epoch, prev.Digest, prev.Node, ev.Digest, ev.Node),
+				}
+			}
+		} else {
+			decided[ev.Epoch] = ev
+		}
+		if !proposed[ev.Epoch][ev.Digest] {
+			return &Violation{
+				Rule: RuleConsensusValidity,
+				Detail: fmt.Sprintf(
+					"epoch %d decided digest %#x at node %d, which no node proposed",
+					ev.Epoch, ev.Digest, ev.Node),
+			}
+		}
+	}
+	if len(stuck) > 0 {
+		s := append([]int(nil), stuck...)
+		sort.Ints(s)
+		return &Violation{
+			Rule: RuleConsensusStabilization,
+			Detail: fmt.Sprintf(
+				"nodes %v still mid-reset after the settle phase", s),
+		}
+	}
+	return nil
+}

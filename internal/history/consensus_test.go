@@ -1,0 +1,106 @@
+package history
+
+import (
+	"testing"
+
+	"selfstabsnap/internal/reset"
+)
+
+// ruleOf extracts the Rule of a violation, failing the test when none was
+// reported.
+func ruleOf(t *testing.T, v *Violation) string {
+	t.Helper()
+	if v == nil {
+		t.Fatalf("expected a violation, got nil")
+	}
+	return v.Rule
+}
+
+func TestConsensusCleanStreamPasses(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 1, Kind: reset.EventTrigger, Epoch: 0},
+		{Node: 1, Kind: reset.EventPropose, Epoch: 0, Digest: 0xabc},
+		{Node: 2, Kind: reset.EventPropose, Epoch: 0, Digest: 0xdef},
+		{Node: 0, Kind: reset.EventDecide, Epoch: 0, Digest: 0xabc},
+		{Node: 1, Kind: reset.EventDecide, Epoch: 0, Digest: 0xabc},
+		{Node: 0, Kind: reset.EventCommit, Epoch: 1, Digest: 0xabc},
+		{Node: 1, Kind: reset.EventCommit, Epoch: 1, Digest: 0xabc},
+	}
+	if err := CheckConsensusEvents(events, nil); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+}
+
+// TestConsensusAgreementViolation pins the exact rule string a split
+// decision produces: two nodes learning different values for one epoch is
+// the canonical agreement failure.
+func TestConsensusAgreementViolation(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 0, Kind: reset.EventPropose, Epoch: 3, Digest: 0x1},
+		{Node: 1, Kind: reset.EventPropose, Epoch: 3, Digest: 0x2},
+		{Node: 0, Kind: reset.EventDecide, Epoch: 3, Digest: 0x1},
+		{Node: 1, Kind: reset.EventDecide, Epoch: 3, Digest: 0x2},
+	}
+	if got := ruleOf(t, CheckConsensusEvents(events, nil)); got != "consensus-agreement" {
+		t.Fatalf("rule = %q, want %q", got, "consensus-agreement")
+	}
+	if RuleConsensusAgreement != "consensus-agreement" {
+		t.Fatalf("RuleConsensusAgreement = %q", RuleConsensusAgreement)
+	}
+}
+
+// TestConsensusValidityViolation pins the rule string fired when a decided
+// digest was never proposed — consensus inventing a register vector.
+func TestConsensusValidityViolation(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 0, Kind: reset.EventPropose, Epoch: 5, Digest: 0x11},
+		{Node: 2, Kind: reset.EventDecide, Epoch: 5, Digest: 0x99},
+	}
+	if got := ruleOf(t, CheckConsensusEvents(events, nil)); got != "consensus-validity" {
+		t.Fatalf("rule = %q, want %q", got, "consensus-validity")
+	}
+	if RuleConsensusValidity != "consensus-validity" {
+		t.Fatalf("RuleConsensusValidity = %q", RuleConsensusValidity)
+	}
+}
+
+// TestConsensusValidityAcrossEpochs checks that proposals are matched per
+// epoch: a digest proposed for epoch 4 does not validate a decision for
+// epoch 5.
+func TestConsensusValidityAcrossEpochs(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 0, Kind: reset.EventPropose, Epoch: 4, Digest: 0x11},
+		{Node: 2, Kind: reset.EventDecide, Epoch: 5, Digest: 0x11},
+	}
+	if got := ruleOf(t, CheckConsensusEvents(events, nil)); got != RuleConsensusValidity {
+		t.Fatalf("rule = %q, want %q", got, RuleConsensusValidity)
+	}
+}
+
+// TestConsensusStabilizationViolation pins the rule string fired when an
+// engine is still mid-reset after the settle phase.
+func TestConsensusStabilizationViolation(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 3, Kind: reset.EventTrigger, Epoch: 0},
+	}
+	if got := ruleOf(t, CheckConsensusEvents(events, []int{3})); got != "consensus-stabilization" {
+		t.Fatalf("rule = %q, want %q", got, "consensus-stabilization")
+	}
+	if RuleConsensusStabilization != "consensus-stabilization" {
+		t.Fatalf("RuleConsensusStabilization = %q", RuleConsensusStabilization)
+	}
+}
+
+// TestConsensusDecideReplayIsNotDoubleCounted: the same digest learned at
+// many nodes (commit-by-replay) must not trip agreement.
+func TestConsensusDecideReplayIsNotDoubleCounted(t *testing.T) {
+	events := []ConsensusEvent{
+		{Node: 1, Kind: reset.EventPropose, Epoch: 2, Digest: 0x7},
+	}
+	for n := 0; n < 5; n++ {
+		events = append(events, ConsensusEvent{Node: n, Kind: reset.EventDecide, Epoch: 2, Digest: 0x7})
+	}
+	if err := CheckConsensusEvents(events, nil); err != nil {
+		t.Fatalf("replayed decides rejected: %v", err)
+	}
+}

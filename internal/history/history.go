@@ -73,6 +73,15 @@ type Op struct {
 	WriteValue types.Value
 	// Snapshot is the vector a snapshot returned.
 	Snapshot types.RegVector
+	// Tag is an optional caller-supplied partition label. The
+	// bounded-counter chaos harness tags snapshots with the configuration
+	// epoch they executed under — a global reset collapses operation
+	// indices, so comparability only holds within one epoch. −1 marks an
+	// operation whose epoch could not be pinned (it straddled a reset);
+	// epoch-aware checkers skip those. Untagged histories carry 0
+	// throughout, and the history hash never folds the tag, so tagging
+	// cannot perturb stored digests.
+	Tag int64
 }
 
 // Recorder collects operations concurrently. Invocation and return
@@ -118,15 +127,28 @@ func (r *Recorder) BeginWrite(id int, v types.Value) (end func()) {
 // BeginSnapshot records the invocation of a snapshot at node id and returns
 // a completion callback taking the returned vector.
 func (r *Recorder) BeginSnapshot(id int) (end func(types.RegVector)) {
+	tagged := r.BeginSnapshotTagged(id, 0)
+	return func(v types.RegVector) { tagged(v, 0) }
+}
+
+// BeginSnapshotTagged is BeginSnapshot with a partition label: tag is the
+// caller's label (the bounded-counter epoch) sampled before invocation,
+// endTag the label sampled after return. When they differ the operation
+// straddled a reset and is recorded with Tag −1 so epoch-aware checkers
+// exclude it.
+func (r *Recorder) BeginSnapshotTagged(id int, tag int64) (end func(types.RegVector, int64)) {
 	r.mu.Lock()
-	op := &Op{Node: id, Kind: KindSnapshot, Invoke: r.clk.Now()}
+	op := &Op{Node: id, Kind: KindSnapshot, Invoke: r.clk.Now(), Tag: tag}
 	r.ops = append(r.ops, op)
 	r.mu.Unlock()
-	return func(v types.RegVector) {
+	return func(v types.RegVector, endTag int64) {
 		r.mu.Lock()
 		op.Return = r.clk.Now()
 		op.Returned = true
 		op.Snapshot = v.Clone()
+		if endTag != tag {
+			op.Tag = -1
+		}
 		r.mu.Unlock()
 	}
 }
@@ -157,6 +179,13 @@ const (
 	// of snapshot atomicity, so a non-atomic snapshot surfaces here even
 	// when the register-level rules cannot see it.
 	RuleCheckpointConsistent = "checkpoint-consistent"
+
+	// The consensus rules are fired by CheckConsensusEvents over the reset
+	// consensus of the bounded-counter variation (§5 + the self-stabilizing
+	// multivalued consensus of Lundström, Raynal and Schiller 2021).
+	RuleConsensusAgreement     = "consensus-agreement"
+	RuleConsensusValidity      = "consensus-validity"
+	RuleConsensusStabilization = "consensus-stabilization"
 )
 
 // Violation describes a linearizability failure.

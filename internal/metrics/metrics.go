@@ -27,6 +27,7 @@ type Counters struct {
 	writeFails   atomic.Int64
 	invalidTypes atomic.Int64
 	invalidObjs  atomic.Int64
+	resetRejects atomic.Int64
 
 	// Gossip-mode accounting: how many GOSSIP sends were full-vector
 	// fallbacks vs ack-dominance deltas, and how many ticks suppressed a
@@ -186,6 +187,16 @@ func (c *Counters) InvalidTypes() int64 { return c.invalidTypes.Load() }
 // InvalidObjs returns the number of out-of-range object ids seen.
 func (c *Counters) InvalidObjs() int64 { return c.invalidObjs.Load() }
 
+// RecordResetReject accounts one reset-plane or consensus message dropped
+// by shape validation before any state transition — a hostile sender id,
+// negative epoch, short register payload, or a legacy two-phase reset
+// type. The bounded-counter wrapper records these so campaigns can assert
+// that corrupted frames are metered rather than silently absorbed.
+func (c *Counters) RecordResetReject() { c.resetRejects.Add(1) }
+
+// ResetRejects returns the number of rejected reset-plane messages.
+func (c *Counters) ResetRejects() int64 { return c.resetRejects.Load() }
+
 // Snapshot captures the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{PerType: map[wire.Type]TypeCount{}}
@@ -205,6 +216,7 @@ func (c *Counters) Snapshot() Snapshot {
 	s.WriteFailures = c.writeFails.Load()
 	s.InvalidTypes = c.invalidTypes.Load()
 	s.InvalidObjs = c.invalidObjs.Load()
+	s.ResetRejects = c.resetRejects.Load()
 	s.GossipFull = c.gossipFull.Load()
 	s.GossipFullBytes = c.gossipFullBytes.Load()
 	s.GossipDelta = c.gossipDelta.Load()
@@ -231,6 +243,7 @@ type Snapshot struct {
 	WriteFailures int64
 	InvalidTypes  int64
 	InvalidObjs   int64
+	ResetRejects  int64
 
 	// Gossip-mode breakdown of the TGossip sends above.
 	GossipFull       int64
@@ -253,6 +266,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		WriteFailures: s.WriteFailures - o.WriteFailures,
 		InvalidTypes:  s.InvalidTypes - o.InvalidTypes,
 		InvalidObjs:   s.InvalidObjs - o.InvalidObjs,
+		ResetRejects:  s.ResetRejects - o.ResetRejects,
 
 		GossipFull:       s.GossipFull - o.GossipFull,
 		GossipFullBytes:  s.GossipFullBytes - o.GossipFullBytes,

@@ -168,6 +168,10 @@ func (r *Runtime) callObj(obj int32, o CallOpts) ([]*wire.Message, error) {
 	c.id = r.collector.next
 	r.collector.calls[c.id] = c
 	r.rebuildActiveLocked()
+	// Captured under the same lock as registration: an AbortInflightCalls
+	// that fires before this point replaces the event first, so this call
+	// (which it could not have meant to abort) waits on the fresh one.
+	abortEv := r.abortEv
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
@@ -191,13 +195,15 @@ func (r *Runtime) callObj(obj int32, o CallOpts) ([]*wire.Message, error) {
 	}
 	transmit()
 
-	ws := []simclock.Waitable{r.closeEv, crashEv, c.notify, retx}
+	ws := []simclock.Waitable{r.closeEv, crashEv, c.notify, retx, abortEv}
 	for {
 		switch r.clk.Wait(ws...) {
 		case 0:
 			return nil, ErrClosed
 		case 1:
 			return nil, ErrCrashed
+		case 4:
+			return nil, ErrAborted
 		case 2:
 			n, msgs := c.snapshot()
 			if n >= quorum {

@@ -158,6 +158,7 @@ type Runtime struct {
 	closed    bool
 	crashGen  uint64         // incremented on every crash, for call abortion
 	crashEv   simclock.Event // fired on crash; replaced on resume
+	abortEv   simclock.Event // fired by AbortInflightCalls; then replaced
 	closeEv   simclock.Event
 	wg        *simclock.Group
 	collector struct {
@@ -219,6 +220,7 @@ func NewHost(id int, tr netsim.Transport, opts Options) *Runtime {
 		clk:     opts.Clock,
 		ctr:     tr.Counters(),
 		crashEv: opts.Clock.NewEvent(),
+		abortEv: opts.Clock.NewEvent(),
 		closeEv: opts.Clock.NewEvent(),
 		wg:      opts.Clock.NewGroup(),
 	}
@@ -417,6 +419,21 @@ func (r *Runtime) Crash() {
 	r.crashed.Store(true)
 	r.crashGen++
 	r.crashEv.Fire()
+}
+
+// AbortInflightCalls aborts every quorum call currently blocked in Call
+// with ErrAborted, without crashing the node. The bounded-counter global
+// reset uses it at commit time: an operation that began under the old
+// epoch must not keep retransmitting under the new one, where the fenced
+// transport would stamp its pre-reset indices with the fresh epoch and
+// re-poison the collapsed state. Returns how many calls were aborted.
+func (r *Runtime) AbortInflightCalls() int {
+	r.mu.Lock()
+	n := len(r.collector.calls)
+	r.abortEv.Fire()
+	r.abortEv = r.clk.NewEvent()
+	r.mu.Unlock()
+	return n
 }
 
 // Resume lets a crashed node take steps again without restarting its

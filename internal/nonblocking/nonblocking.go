@@ -444,3 +444,27 @@ func (nd *Node) ApplyReset() {
 		nd.acks.Reset() // pre-reset acks describe collapsed indices
 	}
 }
+
+// InstallReset is ApplyReset with the register vector replaced wholesale
+// by r, the value the reset consensus decided. Installing the decided
+// vector — rather than collapsing whatever this node happens to hold —
+// makes every committing node's post-reset registers byte-identical even
+// when the MAXIDX gossip had not yet converged them: agreement on the
+// installed state follows from consensus agreement alone. Indices
+// collapse exactly as in ApplyReset (non-⊥ entries restart at write
+// index 1, values preserved).
+func (nd *Node) InstallReset(r types.RegVector) {
+	nd.mu.Lock()
+	nd.reg = types.NewRegVector(nd.n)
+	for k := 0; k < nd.n && k < len(r); k++ {
+		if !r[k].IsBottom() {
+			nd.reg[k] = types.TSValue{TS: 1, Val: r[k].Val}
+		}
+	}
+	nd.ts = nd.reg[nd.id].TS
+	nd.ssn = 0
+	nd.mu.Unlock()
+	if nd.acks != nil {
+		nd.acks.Reset() // pre-reset acks describe collapsed indices
+	}
+}

@@ -1,31 +1,38 @@
 package reset
 
 import (
+	"fmt"
 	"testing"
 
+	"selfstabsnap/internal/consensus"
 	"selfstabsnap/internal/types"
 	"selfstabsnap/internal/wire"
 )
 
-// fabric executes engine outputs against a set of engines synchronously,
-// modelling a perfect network. Each node owns a register vector and a
-// frozen flag, and applies commits/merges the way package bounded does.
+// fabric wires n engines together in-memory, delivering every Output
+// synchronously (recursively). Crashed members neither tick nor receive.
 type fabric struct {
-	engines []*Engine
-	regs    []types.RegVector
-	frozen  []bool
-	commits []int
+	t        *testing.T
+	engines  []*Engine
+	regs     []types.RegVector
+	frozen   []bool
+	crashed  []bool
+	commits  []int
+	installs []types.RegVector
 }
 
-func newFabric(n int) *fabric {
-	f := &fabric{commits: make([]int, n), frozen: make([]bool, n)}
+func newFabric(t *testing.T, n int) *fabric {
+	f := &fabric{
+		t: t, regs: make([]types.RegVector, n), frozen: make([]bool, n),
+		crashed: make([]bool, n), commits: make([]int, n),
+		installs: make([]types.RegVector, n),
+	}
 	for i := 0; i < n; i++ {
 		f.engines = append(f.engines, NewEngine(i, n))
-		f.regs = append(f.regs, types.RegVector{
-			{TS: int64(100 + i), Val: types.Value("v")},
-			{TS: int64(200 + i), Val: types.Value("w")},
-			{TS: 300, Val: types.Value("x")},
-		})
+		f.regs[i] = make(types.RegVector, n)
+		for k := range f.regs[i] {
+			f.regs[i][k] = types.TSValue{TS: 60 + int64(k), Val: types.Value(fmt.Sprintf("v%d", k))}
+		}
 	}
 	return f
 }
@@ -36,237 +43,445 @@ func (f *fabric) apply(id int, res Result) {
 	}
 	if res.Commit {
 		f.commits[id]++
-		for k := range f.regs[id] {
-			if !f.regs[id][k].IsBottom() {
-				f.regs[id][k].TS = 1
+		f.installs[id] = res.Install
+		// Install the decided vector with indices collapsed (what the
+		// bounded node's InstallReset does).
+		for k, e := range res.Install {
+			ts := int64(0)
+			if e.TS > 0 {
+				ts = 1
 			}
+			f.regs[id][k] = types.TSValue{TS: ts, Val: e.Val}
 		}
+		f.frozen[id] = false
 	}
-	for _, o := range res.Outputs {
-		targets := []int{o.To}
-		if o.To == Broadcast {
-			targets = targets[:0]
-			for k := range f.engines {
-				if k != id {
-					targets = append(targets, k)
-				}
+	for _, out := range res.Outputs {
+		for to := range f.engines {
+			if to == id || f.crashed[to] {
+				continue
 			}
-		}
-		for _, to := range targets {
-			m := o.Msg.Clone()
+			if out.To != Broadcast && out.To != to {
+				continue
+			}
+			m := out.Msg.Clone()
 			m.From, m.To = int32(id), int32(to)
-			f.apply(to, f.engines[to].OnMessage(m, f.regs[to], f.frozen[to]))
+			// Share() mirrors the bounded caller: engines see immutable
+			// snapshots, never the fabric's live vectors.
+			f.apply(to, f.engines[to].OnMessage(m, f.regs[to].Share(), f.frozen[to]))
 		}
 	}
 }
 
 func (f *fabric) tick(id int) {
-	f.apply(id, f.engines[id].OnTick(f.regs[id], f.frozen[id]))
+	if f.crashed[id] {
+		return
+	}
+	// Mirror the bounded watcher: a node participating in a reset freezes
+	// once its (simulated) in-flight operations drain — immediately here.
+	if f.engines[id].Blocking() {
+		f.frozen[id] = true
+	}
+	f.apply(id, f.engines[id].OnTick(f.regs[id].Share(), f.frozen[id]))
 }
 
 func (f *fabric) tickAll() {
-	for i := range f.engines {
-		f.tick(i)
+	for id := range f.engines {
+		f.tick(id)
 	}
+}
+
+func (f *fabric) run(maxTicks int, done func() bool) {
+	for i := 0; i < maxTicks && !done(); i++ {
+		f.tickAll()
+	}
+}
+
+func (f *fabric) allLiveCommitted() bool {
+	for id := range f.engines {
+		if !f.crashed[id] && f.commits[id] == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func TestFullResetRound(t *testing.T) {
-	f := newFabric(4)
-	f.engines[2].Trigger() // overflow noticed at a non-coordinator
+	const n = 3
+	f := newFabric(t, n)
+	f.engines[1].Trigger() // any node may trigger — not just node 0
+	f.run(300, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatalf("reset did not commit everywhere: commits=%v", f.commits)
+	}
+	d := consensus.DigestReg(f.installs[0])
+	for id := range f.engines {
+		if f.commits[id] != 1 {
+			t.Fatalf("node %d committed %d times", id, f.commits[id])
+		}
+		if consensus.DigestReg(f.installs[id]) != d {
+			t.Fatalf("node %d installed a different vector", id)
+		}
+		if got := f.engines[id].Epoch(); got != 1 {
+			t.Fatalf("node %d epoch %d, want 1", id, got)
+		}
+		if f.engines[id].Active() {
+			t.Fatalf("node %d still active after commit", id)
+		}
+	}
+}
 
-	// Round 1: node 2 gossips MAXIDX; everyone joins and merges.
-	f.tickAll()
-	for i, e := range f.engines {
-		if !e.Active() {
-			t.Fatalf("node %d did not join the reset", i)
+// TestCommitWithoutNodeZero is the tentpole property: with the former
+// coordinator (node 0) crashed for the whole episode, a reset triggered at
+// any other node still commits at every live node, which then resumes
+// under the new epoch.
+func TestCommitWithoutNodeZero(t *testing.T) {
+	const n = 5
+	f := newFabric(t, n)
+	f.crashed[0] = true
+	f.engines[3].Trigger()
+	f.run(600, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatalf("reset did not commit with node 0 crashed: commits=%v", f.commits)
+	}
+	d := consensus.DigestReg(f.installs[1])
+	for id := 1; id < n; id++ {
+		if consensus.DigestReg(f.installs[id]) != d || f.engines[id].Epoch() != 1 {
+			t.Fatalf("node %d disagreed after coordinator-free commit", id)
+		}
+		if f.engines[id].Blocking() {
+			t.Fatalf("node %d still gated after commit", id)
 		}
 	}
-	// Nodes freeze (the bounded wrapper drains in-flight ops).
-	for i := range f.frozen {
-		f.frozen[i] = true
+	if f.commits[0] != 0 || f.engines[0].Epoch() != 0 {
+		t.Fatal("crashed node advanced impossibly")
 	}
-	// A few more gossip rounds converge registers and drive propose/commit.
-	for r := 0; r < 5; r++ {
-		f.tickAll()
-	}
-	for i := range f.engines {
-		if f.commits[i] != 1 {
-			t.Errorf("node %d committed %d times, want 1", i, f.commits[i])
-		}
-		if got := f.engines[i].Epoch(); got != 1 {
-			t.Errorf("node %d epoch = %d, want 1", i, got)
-		}
-		if f.engines[i].Active() && i != 0 {
-			t.Errorf("node %d still active", i)
-		}
-		for k, e := range f.regs[i] {
-			if e.TS != 1 {
-				t.Errorf("node %d reg[%d].TS = %d, want 1", i, k, e.TS)
+}
+
+// TestNoCommitWhileMajorityUnfrozen: consensus must not even be proposed
+// until a majority of nodes evidence frozen state.
+func TestNoCommitWhileMajorityUnfrozen(t *testing.T) {
+	const n = 5
+	f := newFabric(t, n)
+	f.engines[0].Trigger()
+	// Nodes 2,3,4 refuse to freeze: simulate in-flight operations that
+	// never drain by pinning frozen=false around each tick.
+	for i := 0; i < 100; i++ {
+		for id := range f.engines {
+			if id < 2 && f.engines[id].Blocking() {
+				f.frozen[id] = true
 			}
-			if len(e.Val) == 0 {
-				t.Errorf("node %d reg[%d] lost its value", i, k)
-			}
+			f.apply(id, f.engines[id].OnTick(f.regs[id], f.frozen[id]))
 		}
 	}
-	// Registers identical everywhere (converged before commit).
-	for i := 1; i < 4; i++ {
-		if !f.regs[i].Equal(f.regs[0]) {
-			t.Errorf("registers diverged after reset: %v vs %v", f.regs[i], f.regs[0])
+	for id := range f.engines {
+		if f.commits[id] != 0 {
+			t.Fatalf("node %d committed with a majority unfrozen", id)
+		}
+		if f.engines[id].Debug().Proposed {
+			t.Fatalf("node %d proposed with a majority unfrozen", id)
 		}
 	}
-	// Coordinator drains its DONE collection.
-	f.tickAll()
-	if f.engines[0].Active() {
-		t.Error("coordinator never finished DONE collection")
+	// Let the stragglers freeze: the same episode must now finish.
+	f.run(300, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatal("reset did not finish once the majority froze")
 	}
 }
 
-func TestNoCommitWhileUnfrozen(t *testing.T) {
-	f := newFabric(3)
+// TestStragglerCatchesUpViaDecideReplay: a node crashed through the whole
+// decision learns it afterwards from its first stale-epoch gossip — the
+// replacement for the old coordinator DONE/COMMIT retry loop.
+func TestStragglerCatchesUpViaDecideReplay(t *testing.T) {
+	const n = 3
+	f := newFabric(t, n)
+	f.crashed[2] = true
 	f.engines[0].Trigger()
-	f.frozen[1] = true
-	f.frozen[2] = true
-	// Node 0 itself never freezes: commit must not happen.
-	for r := 0; r < 10; r++ {
-		f.tickAll()
+	f.run(300, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatal("live majority did not commit")
 	}
-	for i := range f.commits {
-		if f.commits[i] != 0 {
-			t.Fatalf("committed with an unfrozen node (node %d)", i)
-		}
+	// Node 2 resumes, still at epoch 0, and wraps (its registers still
+	// show overflow evidence). Its stale TMaxIdx reaches node 0, which
+	// replays the decision; node 2 must install it and jump to epoch 1.
+	f.crashed[2] = false
+	f.engines[2].Trigger()
+	f.run(50, func() bool { return f.commits[2] > 0 })
+	if f.commits[2] != 1 {
+		t.Fatal("straggler never caught up via decide replay")
 	}
-	f.frozen[0] = true
-	for r := 0; r < 5; r++ {
-		f.tickAll()
+	if got := f.engines[2].Epoch(); got != 1 {
+		t.Fatalf("straggler epoch %d, want 1", got)
 	}
-	if f.commits[0] != 1 || f.commits[1] != 1 || f.commits[2] != 1 {
-		t.Errorf("commits after freeze: %v", f.commits)
-	}
-}
-
-func TestNoCommitWhileRegistersDiverge(t *testing.T) {
-	f := newFabric(3)
-	for i := range f.frozen {
-		f.frozen[i] = true
-	}
-	f.engines[0].Trigger()
-	// Sabotage convergence: node 2's register keeps growing each round.
-	for r := 0; r < 6; r++ {
-		f.regs[2][0].TS += 10
-		f.tick(2)
-		f.tick(1)
-		f.tick(0)
-		// Coordinator's view of node 2 is always stale by one bump, but the
-		// merge means reg converges the moment node 2 stops moving.
-	}
-	// Let it settle: no more bumps.
-	for r := 0; r < 5; r++ {
-		f.tickAll()
-	}
-	for i := range f.commits {
-		if f.commits[i] != 1 {
-			t.Errorf("node %d commits = %d, want exactly 1 after settling", i, f.commits[i])
-		}
+	if consensus.DigestReg(f.installs[2]) != consensus.DigestReg(f.installs[0]) {
+		t.Fatal("straggler installed a different vector")
 	}
 }
 
-func TestStragglerCatchesUpViaCommitRetry(t *testing.T) {
-	f := newFabric(3)
-	for i := range f.frozen {
-		f.frozen[i] = true
-	}
-	f.engines[0].Trigger()
-	// Run a reset where node 2's engine is detached (messages to it are
-	// dropped) by operating on a sub-fabric manually.
-	// Simpler: drive only nodes 0 and 1 — but coordinator needs node 2's
-	// ack, so instead let everything flow and then replay a stale MAXIDX.
-	for r := 0; r < 6; r++ {
-		f.tickAll()
-	}
-	if f.engines[0].Epoch() != 1 {
-		t.Fatal("setup reset did not complete")
-	}
-	// A stale MAXIDX from epoch 0 arrives at node 0: it must answer with a
-	// COMMIT for epoch 0, not re-enter a reset.
-	res := f.engines[0].OnMessage(&wire.Message{Type: wire.TMaxIdx, Epoch: 0, From: 2, Reg: f.regs[2].Clone()}, f.regs[0], true)
-	foundCommit := false
-	for _, o := range res.Outputs {
-		if o.Msg.Type == wire.TResetCmt && o.Msg.Epoch == 0 {
-			foundCommit = true
-		}
-	}
-	if !foundCommit {
-		t.Error("stale MAXIDX not answered with COMMIT replay")
-	}
-	if f.engines[0].Epoch() != 1 {
-		t.Error("stale MAXIDX corrupted the epoch")
-	}
-}
-
-func TestEpochAdoptionOnHigherEpoch(t *testing.T) {
-	e := NewEngine(1, 3)
-	res := e.OnMessage(&wire.Message{Type: wire.TMaxIdx, Epoch: 7, From: 0}, types.RegVector{{}}, false)
-	if res.Commit {
-		t.Error("must not commit on epoch adoption")
-	}
-	if e.Epoch() != 7 {
-		t.Errorf("epoch = %d, want 7 (adopt newer)", e.Epoch())
-	}
-}
-
-func TestDoubleCommitImpossible(t *testing.T) {
-	e := NewEngine(1, 3)
+// TestEpochAdoptionScrubsState pins the corrupted-epoch path: adopting a
+// newer epoch must scrub seen/consensus soft state, so a later wrap in the
+// adopted epoch cannot observe pre-adoption leftovers.
+func TestEpochAdoptionScrubsState(t *testing.T) {
+	const n = 5
+	e := NewEngine(0, n)
+	reg := make(types.RegVector, n)
 	e.Trigger()
-	r1 := e.OnMessage(&wire.Message{Type: wire.TResetCmt, Epoch: 0, From: 0}, types.RegVector{{}}, true)
-	r2 := e.OnMessage(&wire.Message{Type: wire.TResetCmt, Epoch: 0, From: 0}, types.RegVector{{}}, true)
-	if !r1.Commit {
-		t.Fatal("first commit ignored")
+	// Accumulate frozen evidence from peers 1 and 2 at epoch 0.
+	for _, from := range []int32{1, 2} {
+		e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: from, Epoch: 0, TS: 1,
+			Reg: make(types.RegVector, n)}, reg, false)
 	}
-	if r2.Commit {
-		t.Fatal("second commit applied twice")
+	// And a consensus instance mid-flight.
+	e.OnMessage(&wire.Message{Type: wire.TCnsPrep, From: 1, Epoch: 0, TS: 6}, reg, false)
+	if d := e.Debug(); d.SeenFrozen != 2 {
+		t.Fatalf("setup: want 2 frozen peers, got %+v", d)
 	}
-	// The replayed commit is confirmed so the coordinator stops retrying.
-	foundDone := false
-	for _, o := range r2.Outputs {
-		if o.Msg.Type == wire.TResetDone && o.Msg.Epoch == 0 {
-			foundDone = true
-		}
+	// Corrupted-epoch gossip: a peer claims epoch 7.
+	res := e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 3, Epoch: 7, TS: 0,
+		Reg: make(types.RegVector, n)}, reg, false)
+	if res.Rejected || res.Commit {
+		t.Fatalf("adoption mishandled: %+v", res)
 	}
-	if !foundDone {
-		t.Error("replayed commit not confirmed with DONE")
+	d := e.Debug()
+	if d.Epoch != 7 {
+		t.Fatalf("epoch not adopted: %+v", d)
+	}
+	if d.SeenFrozen != 0 || d.Proposed {
+		t.Fatalf("stale soft state survived adoption: %+v", d)
+	}
+	// The pre-adoption frozen evidence must not count toward a propose in
+	// the adopted epoch: freeze self and one peer (2 of 5 < majority).
+	e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 1, Epoch: 7, TS: 1,
+		Reg: make(types.RegVector, n)}, reg, true)
+	e.OnTick(reg, true)
+	if e.Debug().Proposed {
+		t.Fatal("proposed off pre-adoption evidence")
 	}
 }
 
-func TestProposeNotAckedUntilFrozen(t *testing.T) {
-	e := NewEngine(1, 3)
-	res := e.OnMessage(&wire.Message{Type: wire.TResetProp, Epoch: 0, From: 0}, types.RegVector{{}}, false)
-	for _, o := range res.Outputs {
-		if o.Msg.Type == wire.TResetAck {
-			t.Fatal("acked while unfrozen")
+// TestFrozenEvidenceNotSticky pins the restart bugfix: a peer that froze,
+// restarted, and resumed operations (its MAXIDX now carries a different
+// register clock and an unfrozen flag) must stop counting toward the
+// freeze quorum the moment its fresh gossip arrives.
+func TestFrozenEvidenceNotSticky(t *testing.T) {
+	const n = 5
+	e := NewEngine(0, n)
+	reg := make(types.RegVector, n)
+	e.Trigger()
+	mk := func(ts int64) types.RegVector {
+		r := make(types.RegVector, n)
+		for k := range r {
+			r[k] = types.TSValue{TS: ts}
+		}
+		return r
+	}
+	// Peers 1 and 2 freeze (quorum would need 3 of 5 incl. self).
+	e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 1, Epoch: 0, TS: 1, Reg: mk(64)}, reg, false)
+	e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 2, Epoch: 0, TS: 1, Reg: mk(64)}, reg, false)
+	if d := e.Debug(); d.SeenFrozen != 2 {
+		t.Fatalf("setup: %+v", d)
+	}
+	// Peer 2 restarts and resumes: new register clock, unfrozen flag. The
+	// old engine kept its ack; the new one must drop the evidence.
+	e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 2, Epoch: 0, TS: 0, Reg: mk(3)}, reg, false)
+	if d := e.Debug(); d.SeenFrozen != 1 {
+		t.Fatalf("frozen evidence was sticky across restart: %+v", d)
+	}
+	// Self freezes: 2 of 5 frozen — must NOT propose.
+	e.OnTick(reg, true)
+	if e.Debug().Proposed {
+		t.Fatal("proposed counting a restarted node as frozen")
+	}
+	// Peer 3 freezes: 3 of 5 — now the propose fires.
+	e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 3, Epoch: 0, TS: 1, Reg: mk(64)}, reg, true)
+	if !e.Debug().Proposed {
+		t.Fatal("propose did not fire at a genuine frozen majority")
+	}
+}
+
+// TestHostileIdsRejected feeds out-of-range and self-forged sender ids
+// into every reset-plane message type: each must be counted and dropped
+// before touching any quorum bookkeeping.
+func TestHostileIdsRejected(t *testing.T) {
+	const n = 5
+	mkReg := func() types.RegVector { return make(types.RegVector, n) }
+	msgs := []struct {
+		name string
+		msg  *wire.Message
+	}{
+		{"maxidx", &wire.Message{Type: wire.TMaxIdx, Epoch: 0, TS: 1, Reg: mkReg()}},
+		{"cns-prepare", &wire.Message{Type: wire.TCnsPrep, Epoch: 0, TS: 5}},
+		{"cns-promise", &wire.Message{Type: wire.TCnsProm, Epoch: 0, TS: 5}},
+		{"cns-accept", &wire.Message{Type: wire.TCnsAcc, Epoch: 0, TS: 5, Reg: mkReg()}},
+		{"cns-acceptack", &wire.Message{Type: wire.TCnsAccAck, Epoch: 0, TS: 5}},
+		{"cns-decide", &wire.Message{Type: wire.TCnsDecide, Epoch: 0, TS: 5, Reg: mkReg()}},
+	}
+	hostileFroms := []int32{-1, -100, n, n + 7, 2} // 2 == the engine's own id
+	for _, tc := range msgs {
+		for _, from := range hostileFroms {
+			t.Run(fmt.Sprintf("%s/from=%d", tc.name, from), func(t *testing.T) {
+				e := NewEngine(2, n)
+				before := e.Debug()
+				m := tc.msg.Clone()
+				m.From = from
+				res := e.OnMessage(m, mkReg(), false)
+				if !res.Rejected {
+					t.Fatalf("hostile From=%d accepted for %s", from, tc.name)
+				}
+				if len(res.Outputs) != 0 || res.Commit || res.MergeReg != nil {
+					t.Fatalf("hostile input produced effects: %+v", res)
+				}
+				after := e.Debug()
+				if after.Rejects != 1 {
+					t.Fatalf("reject not metered: %+v", after)
+				}
+				before.Rejects, after.Rejects = 0, 0
+				if before != after {
+					t.Fatalf("hostile input mutated state: %+v -> %+v", before, after)
+				}
+			})
 		}
 	}
-	if !e.Active() {
-		t.Error("PROPOSE must pull the node into the reset")
+	// Negative epochs and short register vectors are equally hostile.
+	e := NewEngine(0, n)
+	if res := e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 1, Epoch: -4, TS: 1, Reg: mkReg()}, mkReg(), false); !res.Rejected {
+		t.Fatal("negative epoch accepted")
 	}
-	res = e.OnMessage(&wire.Message{Type: wire.TResetProp, Epoch: 0, From: 0}, types.RegVector{{}}, true)
-	found := false
-	for _, o := range res.Outputs {
-		if o.Msg.Type == wire.TResetAck && o.To == 0 {
-			found = true
+	if res := e.OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 1, Epoch: 0, TS: 1, Reg: make(types.RegVector, 2)}, mkReg(), false); !res.Rejected {
+		t.Fatal("short MAXIDX register vector accepted")
+	}
+	if e.Rejects() != 2 {
+		t.Fatalf("rejects=%d, want 2", e.Rejects())
+	}
+}
+
+// TestLegacyTwoPhaseTypesRejected: the coordinator protocol is gone; its
+// wire types remain reserved and any arrival is counted hostile.
+func TestLegacyTwoPhaseTypesRejected(t *testing.T) {
+	const n = 3
+	e := NewEngine(0, n)
+	reg := make(types.RegVector, n)
+	for _, typ := range []wire.Type{wire.TResetProp, wire.TResetAck, wire.TResetCmt, wire.TResetDone} {
+		res := e.OnMessage(&wire.Message{Type: typ, From: 1, Epoch: 0}, reg, false)
+		if !res.Rejected {
+			t.Fatalf("legacy type %v accepted", typ)
 		}
 	}
-	if !found {
-		t.Error("frozen node did not ack the proposal")
+	if e.Debug().Phase != uint8(phaseIdle) {
+		t.Fatal("legacy traffic changed phase")
+	}
+}
+
+// TestWrapTickSharesPayload pins the hot-path contract: the wrap tick's
+// MAXIDX broadcast must alias the caller's shared snapshot, not deep-copy
+// it (reg is already a RegVector.Share product).
+func TestWrapTickSharesPayload(t *testing.T) {
+	const n = 4
+	e := NewEngine(0, n)
+	e.Trigger()
+	reg := make(types.RegVector, n)
+	reg[0] = types.TSValue{TS: 9, Val: types.Value("abc")}
+	res := e.OnTick(reg, false)
+	var maxidx *wire.Message
+	for _, o := range res.Outputs {
+		if o.Msg.Type == wire.TMaxIdx {
+			maxidx = o.Msg
+		}
+	}
+	if maxidx == nil {
+		t.Fatal("wrap tick did not gossip MAXIDX")
+	}
+	if &maxidx.Reg[0] != &reg[0] {
+		t.Fatal("wrap tick deep-copied the register vector; want shared structure")
+	}
+}
+
+// TestDoubleCommitImpossible: after a commit, retransmitted decides for
+// the old epoch must replay, not re-commit.
+func TestDoubleCommitImpossible(t *testing.T) {
+	const n = 3
+	f := newFabric(t, n)
+	f.engines[0].Trigger()
+	f.run(300, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatal("setup: no commit")
+	}
+	dec := f.installs[0].Share()
+	res := f.engines[0].OnMessage(&wire.Message{Type: wire.TCnsDecide, From: 1, Epoch: 0, TS: 1, Reg: dec},
+		f.regs[0], false)
+	if res.Commit {
+		t.Fatal("stale decide re-committed")
+	}
+	// The sender evidently knows the same decision we do (it sits at epoch
+	// 1 already): replaying back would ping-pong decides forever, so the
+	// exchange must go silent.
+	if len(res.Outputs) != 0 {
+		t.Fatalf("equal-knowledge stale decide echoed: %+v", res)
+	}
+	if f.engines[0].Epoch() != 1 {
+		t.Fatal("epoch moved on stale decide")
+	}
+	// A genuinely older artifact — stale MAXIDX from a node still at epoch
+	// 0 — does get the decision replayed.
+	res = f.engines[0].OnMessage(&wire.Message{Type: wire.TMaxIdx, From: 1, Epoch: 0, TS: 1,
+		Reg: make(types.RegVector, n)}, f.regs[0], false)
+	if len(res.Outputs) != 1 || res.Outputs[0].Msg.Type != wire.TCnsDecide {
+		t.Fatalf("stale MAXIDX not answered with decide replay: %+v", res)
+	}
+}
+
+// TestEventHookObservesLifecycle: trigger/propose/decide/commit events
+// reach the hook in order with matching digests.
+func TestEventHookObservesLifecycle(t *testing.T) {
+	const n = 3
+	f := newFabric(t, n)
+	var events []Event
+	f.engines[0].SetHook(func(ev Event) { events = append(events, ev) })
+	f.engines[0].Trigger()
+	f.run(300, f.allLiveCommitted)
+	if !f.allLiveCommitted() {
+		t.Fatal("no commit")
+	}
+	seen := map[EventKind]bool{}
+	for _, ev := range events {
+		seen[ev.Kind] = true
+		if ev.Kind == EventDecide && ev.Digest != consensus.DigestReg(f.installs[0]) {
+			t.Fatal("decide digest mismatch")
+		}
+	}
+	for _, k := range []EventKind{EventTrigger, EventDecide, EventCommit} {
+		if !seen[k] {
+			t.Fatalf("event kind %d never fired (got %v)", k, events)
+		}
+	}
+}
+
+func TestRestartClearsEngine(t *testing.T) {
+	const n = 3
+	f := newFabric(t, n)
+	f.engines[0].Trigger()
+	f.run(300, f.allLiveCommitted)
+	if f.engines[1].Epoch() != 1 {
+		t.Fatal("setup: no commit")
+	}
+	f.engines[1].Restart()
+	d := f.engines[1].Debug()
+	if d.Epoch != 0 || d.Phase != uint8(phaseIdle) || d.HasDecided || d.Proposed || d.SeenFrozen != 0 {
+		t.Fatalf("restart left state: %+v", d)
 	}
 }
 
 func TestIsResetType(t *testing.T) {
-	for _, typ := range []wire.Type{wire.TMaxIdx, wire.TResetProp, wire.TResetAck, wire.TResetCmt, wire.TResetDone} {
+	for _, typ := range []wire.Type{
+		wire.TMaxIdx, wire.TResetProp, wire.TResetAck, wire.TResetCmt, wire.TResetDone,
+		wire.TCnsPrep, wire.TCnsProm, wire.TCnsAcc, wire.TCnsAccAck, wire.TCnsDecide,
+	} {
 		if !IsResetType(typ) {
-			t.Errorf("%v not recognised", typ)
+			t.Errorf("%v must be a reset type", typ)
 		}
 	}
-	if IsResetType(wire.TWrite) || IsResetType(wire.TGossip) {
-		t.Error("data types misclassified")
+	for _, typ := range []wire.Type{wire.TWrite, wire.TGossip, wire.TSnapshot, wire.TRegQuery} {
+		if IsResetType(typ) {
+			t.Errorf("%v must not be a reset type", typ)
+		}
 	}
 }

@@ -148,10 +148,11 @@ func wake(w Waitable) chan struct{} {
 	}
 }
 
-// Wait is a hand-rolled select over up to four wake channels. reflect.Select
-// would handle any arity but allocates; the repo's maximum arity is four
-// (node.Call waits on close, crash, ack-notify and the retransmission
-// ticker), so the explicit forms keep Wait off the allocation profile.
+// Wait is a hand-rolled select over up to five wake channels. reflect.Select
+// would handle any arity but allocates; the repo's maximum arity is five
+// (node.Call waits on close, crash, ack-notify, the retransmission ticker
+// and the reset-abort event), so the explicit forms keep Wait off the
+// allocation profile.
 func (*realClock) Wait(ws ...Waitable) int {
 	switch len(ws) {
 	case 1:
@@ -184,6 +185,19 @@ func (*realClock) Wait(ws ...Waitable) int {
 		case <-wake(ws[3]):
 			return 3
 		}
+	case 5:
+		select {
+		case <-wake(ws[0]):
+			return 0
+		case <-wake(ws[1]):
+			return 1
+		case <-wake(ws[2]):
+			return 2
+		case <-wake(ws[3]):
+			return 3
+		case <-wake(ws[4]):
+			return 4
+		}
 	}
-	panic("simclock: Wait supports 1 to 4 waitables")
+	panic("simclock: Wait supports 1 to 5 waitables")
 }

@@ -274,8 +274,8 @@ func (v *Virtual) Sleep(d time.Duration) {
 // Wait blocks until one of ws is consumable and returns its index; ties go
 // to the lowest index (a deterministic priority order, unlike select).
 func (v *Virtual) Wait(ws ...Waitable) int {
-	if len(ws) < 1 || len(ws) > 4 {
-		panic("simclock: Wait supports 1 to 4 waitables")
+	if len(ws) < 1 || len(ws) > 5 {
+		panic("simclock: Wait supports 1 to 5 waitables")
 	}
 	v.mu.Lock()
 	self := v.currentLocked("Wait")

@@ -59,6 +59,16 @@ const (
 	TRegWriteBack    // REG-WRITEBACK(k, entry, tag): install before returning
 	TRegWriteBackAck // REG-WRITEBACKack(tag)
 
+	// Self-stabilizing multivalued consensus (Lundström–Raynal–Schiller
+	// 2021), one instance per reset epoch. Ballots ride in TS, accepted
+	// ballots in SNS, and proposal/decision values are frozen register
+	// vectors carried in Reg.
+	TCnsPrep   // CNS-PREPARE(epoch, ballot)
+	TCnsProm   // CNS-PROMISE(epoch, ballot, acceptedBallot, acceptedValue)
+	TCnsAcc    // CNS-ACCEPT(epoch, ballot, value)
+	TCnsAccAck // CNS-ACCEPTack(epoch, ballot)
+	TCnsDecide // CNS-DECIDE(epoch, ballot, value)
+
 	numTypes
 )
 
@@ -91,6 +101,11 @@ var typeNames = [...]string{
 	TRegQueryAck:     "REG-QUERYack",
 	TRegWriteBack:    "REG-WRITEBACK",
 	TRegWriteBackAck: "REG-WRITEBACKack",
+	TCnsPrep:         "CNS-PREPARE",
+	TCnsProm:         "CNS-PROMISE",
+	TCnsAcc:          "CNS-ACCEPT",
+	TCnsAccAck:       "CNS-ACCEPTack",
+	TCnsDecide:       "CNS-DECIDE",
 }
 
 // String returns the pseudocode name of the message type.

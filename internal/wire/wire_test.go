@@ -39,6 +39,11 @@ func sampleMessages() []*Message {
 		{Type: TRegQueryAck, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 9},
 		{Type: TRegWriteBack, Src: 2, Entry: types.TSValue{TS: 4, Val: types.Value("r")}, Tag: 10},
 		{Type: TRegWriteBackAck, Tag: 10},
+		{Type: TCnsPrep, Epoch: 4, TS: 7},
+		{Type: TCnsProm, Epoch: 4, TS: 7, SNS: 2, Reg: types.RegVector{{TS: 64, Val: types.Value("p")}}},
+		{Type: TCnsAcc, Epoch: 4, TS: 7, Reg: types.RegVector{{TS: 64}, {TS: 63}}},
+		{Type: TCnsAccAck, Epoch: 4, TS: 7},
+		{Type: TCnsDecide, Epoch: 4, TS: 7, Reg: types.RegVector{{TS: 64}}},
 
 		// Multi-object traffic: the same protocol messages stamped with a
 		// nonzero object id (object-keyed wire routing).
@@ -294,5 +299,8 @@ func TestTypeString(t *testing.T) {
 	}
 	if !TResetDone.Valid() {
 		t.Error("TResetDone must be valid")
+	}
+	if !TCnsDecide.Valid() || TCnsPrep.String() != "CNS-PREPARE" {
+		t.Error("consensus types must be valid and named")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"selfstabsnap/internal/bounded"
 	"selfstabsnap/internal/deltasnap"
 	"selfstabsnap/internal/netsim"
 	"selfstabsnap/internal/node"
@@ -99,6 +100,16 @@ func aliasRuntimeOpts() node.Options {
 	return node.Options{LoopInterval: time.Millisecond, RetxInterval: 2 * time.Millisecond}
 }
 
+// boundedAlias adapts a bounded wrapper to the hammer's surface: Corrupt
+// is forwarded to the wrapped algorithm, whose state the transient fault
+// actually scrambles.
+type boundedAlias struct {
+	*bounded.Node
+	corrupt func(*rand.Rand)
+}
+
+func (b boundedAlias) Corrupt(rng *rand.Rand) { b.corrupt(rng) }
+
 // TestSharedStructureAliasSafety hammers both self-stabilizing algorithms
 // over both transports. The netsim transport shares payloads via
 // copy-on-write ShallowClones (maximum aliasing pressure); tcpnet marshals
@@ -130,12 +141,39 @@ func TestSharedStructureAliasSafety(t *testing.T) {
 		return nodes
 	}
 
+	// The bounded wrappers run with a tiny MAXINT so overflow freezes —
+	// and therefore wrap-tick MAXIDX broadcasts, consensus rounds and
+	// InstallReset — all fire repeatedly under the hammer. The wrap tick
+	// attaches the live shared-structure register snapshot to every
+	// broadcast by reference; any code path mutating those payloads in
+	// place surfaces as a data race here.
+	mkBounded := func(tr func(k int) netsim.Transport) []aliasObject {
+		nodes := make([]aliasObject, n)
+		for k := 0; k < n; k++ {
+			nd := bounded.New(k, tr(k), bounded.Config{MaxInt: 6, Runtime: aliasRuntimeOpts()})
+			nd.Start()
+			nodes[k] = boundedAlias{nd, func(rng *rand.Rand) { nd.Inner().Corrupt(rng) }}
+		}
+		return nodes
+	}
+	mkBoundedDelta := func(tr func(k int) netsim.Transport) []aliasObject {
+		nodes := make([]aliasObject, n)
+		for k := 0; k < n; k++ {
+			nd := bounded.NewDelta(k, tr(k), 1, bounded.Config{MaxInt: 6, Runtime: aliasRuntimeOpts()})
+			nd.Start()
+			nodes[k] = boundedAlias{nd, func(rng *rand.Rand) { nd.InnerDelta().Corrupt(rng) }}
+		}
+		return nodes
+	}
+
 	algorithms := []struct {
 		name string
 		mk   func(tr func(k int) netsim.Transport) []aliasObject
 	}{
 		{"nonblocking", mkNonblocking},
 		{"deltasnap", mkDelta},
+		{"bounded", mkBounded},
+		{"bounded-delta", mkBoundedDelta},
 	}
 	for _, alg := range algorithms {
 		t.Run(alg.name+"/netsim", func(t *testing.T) {
